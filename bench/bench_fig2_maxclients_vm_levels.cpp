@@ -1,0 +1,80 @@
+// Figure 2 -- effect of MaxClients on performance under the three VM
+// resource levels, at a constant (ordering) workload. Every other
+// parameter stays at its Table-1 default.
+//
+// Expected shape: each level has its own preferred MaxClients; the optimum
+// *decreases* as the VM grows more powerful (the paper's counter-intuitive
+// finding), and the curves are vertically ordered Level-3 worst.
+#include <cmath>
+#include <iostream>
+
+#include "config/space.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace rac;
+  bench::banner("Figure 2", "effect of MaxClients under different VM levels");
+
+  const auto mix = workload::MixType::kOrdering;
+  const auto grid = config::ConfigSpace::fine_grid(config::ParamId::kMaxClients);
+
+  std::vector<std::string> headers = {"MaxClients"};
+  for (auto level : env::kAllLevels) headers.push_back(env::level_name(level) + " (ms)");
+  util::TextTable table(headers);
+
+  util::AsciiChart chart(78, 20);
+  chart.set_title("Figure 2: response time vs MaxClients per VM level");
+  chart.set_x_label("MaxClients");
+  chart.set_y_label("mean response time (ms)");
+
+  std::vector<std::vector<double>> curves(env::kAllLevels.size());
+  for (std::size_t l = 0; l < env::kAllLevels.size(); ++l) {
+    auto env = bench::make_env({mix, env::kAllLevels[l]}, 42, /*noise=*/0.0);
+    for (int k : grid) {
+      config::Configuration c;
+      c.set(config::ParamId::kMaxClients, k);
+      curves[l].push_back(env->evaluate(c).response_ms);
+    }
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(grid[i])};
+    for (const auto& curve : curves) row.push_back(util::fmt(curve[i], 1));
+    table.add_row(std::move(row));
+  }
+  const std::string symbols = "123";
+  std::vector<int> best(env::kAllLevels.size());
+  for (std::size_t l = 0; l < curves.size(); ++l) {
+    util::Series s;
+    s.name = env::level_name(env::kAllLevels[l]);
+    s.symbol = symbols[l];
+    double best_rt = 1e300;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      s.xs.push_back(grid[i]);
+      // Log-scale the chart so the starved cliff does not flatten the
+      // interesting region (the table carries the raw numbers).
+      s.ys.push_back(std::log10(curves[l][i]));
+      if (curves[l][i] < best_rt) {
+        best_rt = curves[l][i];
+        best[l] = grid[i];
+      }
+    }
+    chart.add_series(std::move(s));
+  }
+  chart.set_y_label("log10 response time (ms)");
+
+  std::cout << table.str() << "\nCSV:\n" << table.csv() << "\n" << chart.str();
+
+  std::cout << "\npreferred MaxClients per level:";
+  for (std::size_t l = 0; l < best.size(); ++l) {
+    std::cout << "  " << env::level_name(env::kAllLevels[l]) << "=" << best[l];
+  }
+  std::cout << "\n";
+
+  bench::paper_note(
+      "each platform has its own preferred MaxClients; as machine capacity "
+      "increases the optimal MaxClients goes DOWN (more powerful VMs finish "
+      "requests faster, so fewer concurrent requests are outstanding)",
+      "U-shaped curves with interior minima; optimum ordering Level-1 <= "
+      "Level-2 < Level-3 as printed above; Level-3 curve highest");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 4 -- the concave-upward effect of MaxClients on response time and
+// the polynomial regression used by the policy initializer to predict
+// unvisited configurations: sample the curve coarsely (as Algorithm 2's
+// data collection does), fit the polynomial, and compare predictions with
+// the full fine-grid truth.
+#include <cmath>
+#include <iostream>
+
+#include "config/space.hpp"
+#include "harness.hpp"
+#include "util/regression.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rac;
+  bench::banner("Figure 4",
+                "concave upward effect of MaxClients and regression fit");
+
+  auto env = bench::make_env({workload::MixType::kShopping, env::VmLevel::kLevel1},
+                             42, /*noise=*/0.05);
+  auto truth = bench::make_env({workload::MixType::kShopping, env::VmLevel::kLevel1},
+                               42, /*noise=*/0.0);
+
+  // Coarse samples (every 4th grid point), as offline data collection would
+  // gather; noisy, like real measurements.
+  const auto grid = config::ConfigSpace::fine_grid(config::ParamId::kMaxClients);
+  std::vector<double> xs;
+  std::vector<double> ys_log;
+  for (std::size_t i = 0; i < grid.size(); i += 4) {
+    config::Configuration c;
+    c.set(config::ParamId::kMaxClients, grid[i]);
+    xs.push_back(grid[i]);
+    ys_log.push_back(std::log(env->measure(c).response_ms));
+  }
+  const auto poly = util::Poly1D::fit(xs, ys_log, 3);
+
+  util::TextTable table({"MaxClients", "measured (ms)", "regression (ms)",
+                         "rel. error"});
+  util::AsciiChart chart(78, 18);
+  chart.set_title("Figure 4: MaxClients concavity, truth vs regression");
+  chart.set_x_label("MaxClients");
+  chart.set_y_label("log10 response time (ms)");
+  util::Series s_truth{"measured", '*', {}, {}};
+  util::Series s_fit{"regression", '-', {}, {}};
+  std::vector<double> observed;
+  std::vector<double> predicted;
+  for (int k : grid) {
+    config::Configuration c;
+    c.set(config::ParamId::kMaxClients, k);
+    const double rt = truth->evaluate(c).response_ms;
+    const double pred = std::exp(poly.predict(k));
+    table.add_row({std::to_string(k), util::fmt(rt, 1), util::fmt(pred, 1),
+                   util::fmt(std::abs(pred - rt) / rt, 3)});
+    s_truth.xs.push_back(k);
+    s_truth.ys.push_back(std::log10(rt));
+    s_fit.xs.push_back(k);
+    s_fit.ys.push_back(std::log10(pred));
+    observed.push_back(std::log(rt));
+    predicted.push_back(poly.predict(k));
+  }
+  chart.add_series(s_truth);
+  chart.add_series(s_fit);
+
+  std::cout << table.str() << "\nCSV:\n" << table.csv() << "\n" << chart.str();
+  std::cout << "\nfit R^2 (log space, full grid) : "
+            << util::fmt(util::r_squared(observed, predicted), 4) << "\n"
+            << "regression argmin              : "
+            << util::fmt(poly.argmin(grid.front(), grid.back()), 0)
+            << " (truth argmin near the curve minimum above)\n";
+
+  bench::paper_note(
+      "all parameters have a concave upward effect on the performance; a "
+      "polynomial regression over sparse samples predicts the performance "
+      "of unvisited configurations for policy initialization",
+      "cubic log-space fit tracks the full curve (R^2 above) and places "
+      "its minimum inside the grid, enabling Algorithm 2's predictions");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7 -- effect of policy initialization: RAC with an offline-trained
+// initial policy vs RAC learning from a cold (empty) Q-table, under (a)
+// context-2 and (b) context-4.
+//
+// Expected shape: the initialized agent stabilizes within ~12 iterations;
+// the cold agent wanders, with response times several times higher.
+#include <iostream>
+
+#include "core/rac_agent.hpp"
+#include "harness.hpp"
+
+namespace {
+
+void run_panel(const char* label, int context_number, std::uint64_t seed) {
+  using namespace rac;
+  const auto ctx = env::table2_context(context_number);
+  const auto library = bench::build_offline_library({ctx});
+
+  std::vector<core::AgentTrace> traces;
+  {
+    core::RacOptions opt;
+    opt.seed = seed;
+    core::RacAgent with_init(opt, library, 0);
+    auto env = bench::make_env(ctx, seed);
+    traces.push_back(core::run_agent(*env, with_init, {}, 40));
+    traces.back().agent = "w/ init policy";
+  }
+  {
+    core::RacOptions opt;
+    opt.seed = seed;
+    core::RacAgent without_init(opt, core::InitialPolicyLibrary{});
+    auto env = bench::make_env(ctx, seed);
+    traces.push_back(core::run_agent(*env, without_init, {}, 40));
+    traces.back().agent = "w/o init policy";
+  }
+
+  bench::report_traces(std::string("Figure 7") + label + ": context-" +
+                           std::to_string(context_number) + " (" + ctx.name() +
+                           ")",
+                       "iteration", traces);
+
+  util::TextTable summary({"agent", "last-15 mean (ms)", "settled at"});
+  for (const auto& trace : traces) {
+    summary.add_row({trace.agent, util::fmt(trace.mean_response_ms(25, 40), 1),
+                     std::to_string(trace.settled_iteration(0, -1, 5, 0.5))});
+  }
+  std::cout << summary.str() << "\nCSV:\n" << summary.csv();
+  std::cout << "w/o-init vs w/-init stable-state ratio: "
+            << util::fmt(traces[1].mean_response_ms(25, 40) /
+                             traces[0].mean_response_ms(25, 40),
+                         2)
+            << "x\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace rac;
+  bench::banner("Figure 7", "performance with and without policy initialization");
+  run_panel("(a)", 2, 300);
+  run_panel("(b)", 4, 301);
+
+  bench::paper_note(
+      "agents with policy initialization drive the system to a stable "
+      "state in < 12 iterations; without initialization the agent fails to "
+      "stabilize and can run >6x slower (context-4 panel)",
+      "see per-panel summaries: the initialized agent settles quickly, the "
+      "cold agent's stable-state ratio is several-fold worse");
+  return 0;
+}

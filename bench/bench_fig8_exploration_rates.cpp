@@ -1,0 +1,77 @@
+// Figure 8 -- effect of the online exploration rate: RAC with epsilon in
+// {0.05, 0.1, 0.3} in a static context.
+//
+// Expected shape: all rates reach roughly the same stable level, but the
+// higher rates suffer more (and larger) response-time spikes from
+// suboptimal exploratory actions; 0.05 performs best.
+#include <iostream>
+
+#include "core/rac_agent.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace rac;
+  bench::banner("Figure 8", "effect of online exploration rates");
+
+  const auto ctx = env::table2_context(1);
+  const auto library = bench::build_offline_library({ctx});
+  const std::vector<double> rates = {0.05, 0.1, 0.3};
+  const std::vector<std::uint64_t> seeds = {400, 401, 402};
+
+  // Exploration effects are bursty: keep every seed's run so the spike
+  // census is not one lucky (or unlucky) trajectory. The chart and the
+  // iteration table show the first seed's runs.
+  std::vector<std::vector<core::AgentTrace>> runs(rates.size());
+  std::vector<core::AgentTrace> traces;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    for (std::uint64_t seed : seeds) {
+      core::RacOptions opt;
+      opt.seed = seed;
+      opt.online_epsilon = rates[r];
+      core::RacAgent agent(opt, library, 0);
+      auto env = bench::make_env(ctx, seed);
+      runs[r].push_back(core::run_agent(*env, agent, {}, 60));
+      runs[r].back().agent = "rate " + util::fmt(rates[r], 2);
+    }
+    traces.push_back(runs[r].front());
+  }
+
+  bench::report_traces("Figure 8: online exploration rates", "iteration",
+                       traces);
+
+  // Spike census over the post-convergence window: a spike is an iteration
+  // at least 2x the trace's median response time.
+  util::TextTable summary({"exploration rate", "overall mean (ms)",
+                           "stable mean (ms)", "spikes (>2x median, 3 runs)",
+                           "worst spike (x median)"});
+  for (std::size_t t = 0; t < rates.size(); ++t) {
+    int spikes = 0;
+    double worst = 0.0;
+    double overall = 0.0;
+    double stable = 0.0;
+    for (const auto& run : runs[t]) {
+      std::vector<double> rts;
+      for (const auto& r : run.records) rts.push_back(r.response_ms);
+      const double median = util::percentile(rts, 50.0);
+      for (std::size_t i = 15; i < rts.size(); ++i) {
+        if (rts[i] > 2.0 * median) ++spikes;
+        worst = std::max(worst, rts[i] / median);
+      }
+      overall += run.mean_response_ms();
+      stable += run.mean_response_ms(40, 60);
+    }
+    const auto n = static_cast<double>(runs[t].size());
+    summary.add_row({util::fmt(rates[t], 2), util::fmt(overall / n, 1),
+                     util::fmt(stable / n, 1), std::to_string(spikes),
+                     util::fmt(worst, 1)});
+  }
+  std::cout << summary.str() << "\nCSV:\n" << summary.csv();
+
+  bench::paper_note(
+      "stable-state performance is nearly identical across rates, but "
+      "higher rates produce more suboptimal-exploration spikes (2 spikes at "
+      "0.1, 4 at 0.3, response times jumping >= 4x); rate 0.05 performs best",
+      "see spike census: spike count grows with the exploration rate while "
+      "the stable means stay close; 0.05 has the best overall mean");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9 -- static vs adaptive policy initialization: an agent that
+// keeps the (randomly chosen) context-2 initial policy everywhere vs one
+// that switches to the context-matched policy, evaluated in (a) context-5
+// and (b) context-6.
+//
+// Expected shape: the static-policy agent needs more iterations to
+// converge (< 27) but online batch retraining calibrates it to within
+// ~10% of the adaptive agent's stable performance.
+#include <iostream>
+
+#include "core/rac_agent.hpp"
+#include "harness.hpp"
+
+namespace {
+
+void run_panel(const char* label, int context_number, std::uint64_t seed) {
+  using namespace rac;
+  const auto target_ctx = env::table2_context(context_number);
+  // The adaptive agent owns policies for the target contexts; the static
+  // agent is pinned to the context-2 policy (as in the paper).
+  const auto adaptive_library =
+      bench::build_offline_library({target_ctx, env::table2_context(2)});
+  const auto static_library =
+      bench::build_offline_library({env::table2_context(2)});
+
+  std::vector<core::AgentTrace> traces;
+  {
+    core::RacOptions opt;
+    opt.seed = seed;
+    core::RacAgent adaptive(opt, adaptive_library, 0);
+    auto env = bench::make_env(target_ctx, seed);
+    traces.push_back(core::run_agent(*env, adaptive, {}, 40));
+    traces.back().agent = "adaptive init policy";
+  }
+  {
+    core::RacOptions opt;
+    opt.seed = seed;
+    opt.adaptive_policy_switching = false;
+    core::RacAgent pinned(opt, static_library, 0);
+    auto env = bench::make_env(target_ctx, seed);
+    traces.push_back(core::run_agent(*env, pinned, {}, 40));
+    traces.back().agent = "static init policy (ctx-2)";
+  }
+
+  bench::report_traces(std::string("Figure 9") + label + ": context-" +
+                           std::to_string(context_number) + " (" +
+                           target_ctx.name() + ")",
+                       "iteration", traces);
+
+  util::TextTable summary({"agent", "last-10 mean (ms)", "settled at"});
+  for (const auto& trace : traces) {
+    summary.add_row({trace.agent, util::fmt(trace.mean_response_ms(30, 40), 1),
+                     std::to_string(trace.settled_iteration(0, -1, 5, 0.5))});
+  }
+  std::cout << summary.str() << "\nCSV:\n" << summary.csv();
+  std::cout << "static-vs-adaptive stable-state loss: "
+            << util::fmt((traces[1].mean_response_ms(30, 40) /
+                              traces[0].mean_response_ms(30, 40) -
+                          1.0) *
+                             100.0,
+                         1)
+            << "%\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace rac;
+  bench::banner("Figure 9",
+                "performance with static and adaptive policy initialization");
+  run_panel("(a)", 5, 500);
+  run_panel("(b)", 6, 501);
+
+  bench::paper_note(
+      "agents pinned to a foreign initial policy still reach stable states "
+      "in < 27 iterations; online learning gradually refines them to "
+      "performance similar to the adaptive agent's (within ~10%)",
+      "see per-panel summaries: the pinned agent settles later but its "
+      "stable-state loss vs the adaptive agent stays small");
+  return 0;
+}

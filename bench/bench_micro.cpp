@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the building blocks whose cost
+// bounds the management loop: MVA solves, the analytic environment
+// evaluation, DES simulation throughput, Q-table operations, batch TD
+// retraining, and the regression fit. Also carries the ablation benches
+// for the design decisions called out in DESIGN.md section 5 (two model
+// fidelities; sparse Q-table).
+#include <benchmark/benchmark.h>
+
+#include "config/space.hpp"
+#include "core/policy_init.hpp"
+#include "env/analytic_env.hpp"
+#include "env/sim_env.hpp"
+#include "queueing/mva.hpp"
+#include "rl/td_learner.hpp"
+#include "util/regression.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rac;
+
+void BM_MvaSolve(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  queueing::ClosedNetwork net(10.0);
+  net.add_station(queueing::make_multiserver_station("web", 2, 100.0, population));
+  net.add_station(queueing::make_multiserver_station("app", 4, 15.0, population));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.solve(population));
+  }
+}
+BENCHMARK(BM_MvaSolve)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_MvaThroughputCurve(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  queueing::ClosedNetwork net(0.0);
+  net.add_station(queueing::make_multiserver_station("web", 2, 100.0, population));
+  net.add_station(queueing::make_multiserver_station("app", 4, 15.0, population));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.throughput_curve(population));
+  }
+}
+BENCHMARK(BM_MvaThroughputCurve)->Arg(400);
+
+// Design ablation: one analytic evaluation (the fast model twin) ...
+void BM_AnalyticEvaluate(benchmark::State& state) {
+  env::AnalyticEnvOptions opt;
+  opt.noise_sigma = 0.0;
+  env::AnalyticEnv e({workload::MixType::kShopping, env::VmLevel::kLevel1}, opt);
+  const config::Configuration c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluate(c));
+  }
+}
+BENCHMARK(BM_AnalyticEvaluate);
+
+// ... vs one DES measurement interval (the ground-truth substrate). The
+// ratio justifies running the RL sweeps on the analytic twin.
+void BM_DesMeasurementInterval(benchmark::State& state) {
+  tiersim::SystemParams params;
+  tiersim::SimSetup setup;
+  setup.num_clients = 200;
+  setup.seed = 3;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tiersim::ThreeTierSystem sys(params, setup);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sys.run(10.0, 60.0));
+  }
+}
+BENCHMARK(BM_DesMeasurementInterval)->Unit(benchmark::kMillisecond);
+
+void BM_QTableLookup(benchmark::State& state) {
+  rl::QTable table;
+  util::Rng rng(1);
+  std::vector<config::Configuration> configs;
+  for (int i = 0; i < 10000; ++i) {
+    configs.push_back(config::ConfigSpace::random_fine(rng));
+    table.set_q(configs.back(), config::Action::keep(), rng.uniform());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.q(configs[i % configs.size()], config::Action::keep()));
+    ++i;
+  }
+}
+BENCHMARK(BM_QTableLookup);
+
+void BM_BatchRetrain(benchmark::State& state) {
+  const int experienced = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  std::vector<config::Configuration> states_list;
+  config::Configuration c;
+  for (int i = 0; i < experienced; ++i) {
+    states_list.push_back(c);
+    c = config::ConfigSpace::apply(
+        c, config::Action(rng.uniform_int(0, config::kNumActions - 1)));
+  }
+  const rl::RewardFn reward = [](const config::Configuration& s) {
+    return -static_cast<double>(s.value(config::ParamId::kMaxClients)) / 600.0;
+  };
+  rl::TdParams params;
+  params.max_sweeps = 40;
+  params.trajectory_limit = 8;
+  for (auto _ : state) {
+    rl::QTable table;
+    benchmark::DoNotOptimize(
+        rl::batch_train(table, states_list, reward, params, rng));
+  }
+}
+BENCHMARK(BM_BatchRetrain)->Arg(30)->Arg(90)->Unit(benchmark::kMillisecond);
+
+void BM_QuadraticSurfaceFit(benchmark::State& state) {
+  util::Rng rng(3);
+  const std::size_t n = 257;
+  std::vector<double> points;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = config::ConfigSpace::random_fine(rng);
+    const auto z = c.normalized_values();
+    points.insert(points.end(), z.begin(), z.end());
+    ys.push_back(rng.uniform(4.0, 9.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::QuadraticSurface::fit(
+        points, config::kNumParams, ys, 1e-4, 3));
+  }
+}
+BENCHMARK(BM_QuadraticSurfaceFit)->Unit(benchmark::kMillisecond);
+
+void BM_PolicyInitialization(benchmark::State& state) {
+  env::AnalyticEnvOptions opt;
+  opt.seed = 7;
+  for (auto _ : state) {
+    env::AnalyticEnv env({workload::MixType::kShopping, env::VmLevel::kLevel1},
+                         opt);
+    core::PolicyInitOptions init;
+    init.coarse_levels = 3;  // smaller budget for the micro-bench
+    init.offline_td.max_sweeps = 60;
+    benchmark::DoNotOptimize(core::learn_initial_policy(env, init));
+  }
+}
+BENCHMARK(BM_PolicyInitialization)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+#include "harness.hpp"
+
+#include <iostream>
+
+namespace rac::bench {
+
+env::AnalyticEnvOptions default_env_options(std::uint64_t seed,
+                                            double noise_sigma) {
+  env::AnalyticEnvOptions opt;
+  opt.seed = seed;
+  opt.noise_sigma = noise_sigma;
+  return opt;
+}
+
+std::unique_ptr<env::AnalyticEnv> make_env(const env::SystemContext& context,
+                                           std::uint64_t seed,
+                                           double noise_sigma) {
+  return std::make_unique<env::AnalyticEnv>(
+      context, default_env_options(seed, noise_sigma));
+}
+
+core::InitialPolicyLibrary build_offline_library(
+    const std::vector<env::SystemContext>& contexts, std::uint64_t seed) {
+  core::PolicyInitOptions init;
+  init.offline_td.max_sweeps = 150;
+  return core::build_library(
+      contexts,
+      [&](const env::SystemContext& ctx) { return make_env(ctx, seed); },
+      init);
+}
+
+core::ContextSchedule paper_schedule() {
+  return {
+      {0, env::table2_context(1)},
+      {30, env::table2_context(2)},
+      {60, env::table2_context(3)},
+  };
+}
+
+void report_traces(const std::string& title, const std::string& x_label,
+                   const std::vector<core::AgentTrace>& traces) {
+  if (traces.empty()) return;
+
+  std::vector<std::string> headers = {x_label, "context"};
+  for (const auto& trace : traces) headers.push_back(trace.agent + " (ms)");
+  util::TextTable table(headers);
+  const std::size_t n = traces.front().records.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(traces.front().records[i].iteration));
+    row.push_back(traces.front().records[i].context.name());
+    for (const auto& trace : traces) {
+      row.push_back(util::fmt(trace.records[i].response_ms, 1));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "\n" << title << "\n" << table.str() << "\n";
+  std::cout << "CSV:\n" << table.csv() << "\n";
+
+  util::AsciiChart chart(78, 20);
+  chart.set_title(title);
+  chart.set_x_label(x_label);
+  chart.set_y_label("mean response time (ms)");
+  const std::string symbols = "*o+x#@";
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    util::Series series;
+    series.name = traces[t].agent;
+    series.symbol = symbols[t % symbols.size()];
+    for (const auto& record : traces[t].records) {
+      series.xs.push_back(static_cast<double>(record.iteration));
+      series.ys.push_back(record.response_ms);
+    }
+    chart.add_series(std::move(series));
+  }
+  std::cout << chart.str() << "\n";
+}
+
+void banner(const std::string& artifact, const std::string& description) {
+  std::cout << "==================================================================\n"
+            << artifact << " -- " << description << "\n"
+            << "==================================================================\n";
+}
+
+void paper_note(const std::string& expectation, const std::string& measured) {
+  std::cout << "\nPAPER:    " << expectation << "\nMEASURED: " << measured
+            << "\n\n";
+}
+
+}  // namespace rac::bench

@@ -1,0 +1,51 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every bench binary is standalone: it builds whatever offline policies it
+// needs, replays the paper's scenario, prints the series as an aligned
+// table AND as CSV, renders an ASCII chart of the figure, and ends with a
+// PAPER-vs-MEASURED note (EXPERIMENTS.md aggregates these).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_init.hpp"
+#include "core/policy_library.hpp"
+#include "core/runner.hpp"
+#include "env/analytic_env.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/table.hpp"
+
+namespace rac::bench {
+
+/// Environment options used across all harnesses (sigma 0.10 measurement
+/// noise, 400 emulated browsers).
+env::AnalyticEnvOptions default_env_options(std::uint64_t seed,
+                                            double noise_sigma = 0.10);
+
+std::unique_ptr<env::AnalyticEnv> make_env(const env::SystemContext& context,
+                                           std::uint64_t seed,
+                                           double noise_sigma = 0.10);
+
+/// Offline-train one initial policy per context (Algorithm 2 on offline
+/// traces of that context).
+core::InitialPolicyLibrary build_offline_library(
+    const std::vector<env::SystemContext>& contexts, std::uint64_t seed = 7);
+
+/// The Figure-5/10 scenario: context-1 for 30 iterations, then context-2,
+/// then context-3.
+core::ContextSchedule paper_schedule();
+
+/// Print an iteration-by-iteration table + CSV + chart for a set of traces
+/// over the same schedule.
+void report_traces(const std::string& title, const std::string& x_label,
+                   const std::vector<core::AgentTrace>& traces);
+
+/// Print a banner line for the artifact being reproduced.
+void banner(const std::string& artifact, const std::string& description);
+
+/// Print the paper-vs-measured summary note.
+void paper_note(const std::string& expectation, const std::string& measured);
+
+}  // namespace rac::bench

@@ -1,0 +1,84 @@
+// Capacity planning with the queueing substrate.
+//
+// The MVA library under the RAC model is useful on its own: here we ask
+// "how many concurrent TPC-W customers can each VM level carry before the
+// response time crosses the SLA?" by solving the closed network directly
+// for a sweep of populations -- no simulation, milliseconds of compute.
+//
+// Demonstrates the public API of rac::queueing and the workload-derived
+// service demands of rac::workload.
+#include <iostream>
+
+#include "queueing/mva.hpp"
+#include "tiersim/system_params.hpp"
+#include "env/context.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/table.hpp"
+#include "workload/tpcw.hpp"
+
+int main() {
+  using namespace rac;
+
+  const tiersim::SystemParams params;
+  const double sla_ms = 1000.0;
+  const int max_population = 900;
+
+  util::TextTable table({"VM level", "mix", "capacity @ SLA (customers)",
+                         "throughput @ SLA (req/s)"});
+  util::AsciiChart chart(78, 18);
+  chart.set_title("Response time vs concurrent customers (shopping mix)");
+  chart.set_x_label("concurrent emulated browsers");
+  chart.set_y_label("response time (ms), clipped at 2.5s");
+  const std::string symbols = "123";
+
+  for (workload::MixType mix : workload::kAllMixes) {
+    const auto stats = workload::mix_stats(mix);
+    const auto profile = workload::browser_profile(mix);
+    const double d_web_s = (stats.web_demand_ms * params.demand_scale_web +
+                            params.conn_setup_ms * 0.3) /
+                           1000.0;
+    const double d_app_s = (stats.app_demand_ms * params.demand_scale_app +
+                            stats.db_demand_ms * params.demand_scale_db) /
+                           1000.0;
+
+    for (std::size_t l = 0; l < env::kAllLevels.size(); ++l) {
+      const auto level = env::kAllLevels[l];
+      const auto web_vm = env::web_vm_spec();
+      const auto app_vm = env::vm_spec(level);
+
+      queueing::ClosedNetwork net(profile.effective_think_mean_s());
+      net.add_station(queueing::make_multiserver_station(
+          "web", web_vm.vcpus, 1.0 / d_web_s / web_vm.vcpus * web_vm.vcpus,
+          max_population));
+      net.add_station(queueing::make_multiserver_station(
+          "appdb", app_vm.vcpus, 1.0 / d_app_s, max_population));
+
+      int capacity = max_population;
+      double throughput_at_capacity = 0.0;
+      util::Series series{env::level_name(level), symbols[l], {}, {}};
+      for (int n = 25; n <= max_population; n += 25) {
+        const auto r = net.solve(n);
+        const double rt_ms = r.response_time * 1000.0;
+        if (mix == workload::MixType::kShopping) {
+          series.xs.push_back(n);
+          series.ys.push_back(std::min(rt_ms, 2500.0));
+        }
+        if (rt_ms <= sla_ms) {
+          capacity = n;
+          throughput_at_capacity = r.throughput;
+        }
+      }
+      table.add_row({env::level_name(level),
+                     std::string(workload::mix_name(mix)),
+                     std::to_string(capacity),
+                     util::fmt(throughput_at_capacity, 1)});
+      if (mix == workload::MixType::kShopping) chart.add_series(std::move(series));
+    }
+  }
+
+  std::cout << table.str() << "\n" << chart.str();
+  std::cout << "\nNote: this is the raw CPU-bound capacity (no configuration "
+               "effects);\nthe RAC agent's job is to keep the *configured* "
+               "system near this envelope.\n";
+  return 0;
+}

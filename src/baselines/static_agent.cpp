@@ -1,0 +1,3 @@
+#include "baselines/static_agent.hpp"
+
+// Header-only agent; this translation unit anchors the library target.

@@ -1,0 +1,24 @@
+// Baseline 1 (paper Section 5.2): the static default configuration. The
+// operator never touches the Table-1 defaults, whatever the workload or VM
+// resources do.
+#pragma once
+
+#include "core/agent.hpp"
+
+namespace rac::baselines {
+
+class StaticDefaultAgent : public core::ConfigAgent {
+ public:
+  StaticDefaultAgent() = default;
+  explicit StaticDefaultAgent(config::Configuration fixed)
+      : fixed_(fixed) {}
+
+  config::Configuration decide() override { return fixed_; }
+  void observe(const config::Configuration&, const env::PerfSample&) override {}
+  std::string name() const override { return "static-default"; }
+
+ private:
+  config::Configuration fixed_ = config::Configuration::defaults();
+};
+
+}  // namespace rac::baselines

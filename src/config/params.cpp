@@ -1,0 +1,65 @@
+#include "config/params.hpp"
+
+#include <cassert>
+
+namespace rac::config {
+
+namespace {
+constexpr std::array<ParamSpec, kNumParams> kCatalog = {{
+    {ParamId::kMaxClients, "MaxClients", Tier::kWeb, 50, 600, 150, 25,
+     ParamGroup::kCapacity},
+    {ParamId::kKeepAliveTimeout, "KeepAlive timeout", Tier::kWeb, 1, 21, 15, 2,
+     ParamGroup::kConnectionLife},
+    {ParamId::kMinSpareServers, "MinSpareServers", Tier::kWeb, 5, 85, 5, 10,
+     ParamGroup::kSpareLow},
+    {ParamId::kMaxSpareServers, "MaxSpareServers", Tier::kWeb, 15, 95, 15, 10,
+     ParamGroup::kSpareHigh},
+    {ParamId::kMaxThreads, "MaxThreads", Tier::kApp, 50, 600, 200, 25,
+     ParamGroup::kCapacity},
+    {ParamId::kSessionTimeout, "Session timeout", Tier::kApp, 1, 35, 30, 2,
+     ParamGroup::kConnectionLife},
+    {ParamId::kMinSpareThreads, "minSpareThreads", Tier::kApp, 5, 85, 5, 10,
+     ParamGroup::kSpareLow},
+    {ParamId::kMaxSpareThreads, "maxSpareThreads", Tier::kApp, 15, 95, 50, 10,
+     ParamGroup::kSpareHigh},
+}};
+}  // namespace
+
+std::span<const ParamSpec, kNumParams> catalog() noexcept { return kCatalog; }
+
+const ParamSpec& spec(ParamId id) noexcept {
+  return kCatalog[index(id)];
+}
+
+std::string_view name(ParamId id) noexcept { return spec(id).name; }
+
+std::string_view tier_name(Tier tier) noexcept {
+  return tier == Tier::kWeb ? "web" : "app";
+}
+
+std::string_view group_name(ParamGroup group) noexcept {
+  switch (group) {
+    case ParamGroup::kCapacity: return "capacity";
+    case ParamGroup::kConnectionLife: return "connection-life";
+    case ParamGroup::kSpareLow: return "spare-low";
+    case ParamGroup::kSpareHigh: return "spare-high";
+  }
+  return "?";
+}
+
+std::array<ParamId, 2> group_members(ParamGroup group) noexcept {
+  switch (group) {
+    case ParamGroup::kCapacity:
+      return {ParamId::kMaxClients, ParamId::kMaxThreads};
+    case ParamGroup::kConnectionLife:
+      return {ParamId::kKeepAliveTimeout, ParamId::kSessionTimeout};
+    case ParamGroup::kSpareLow:
+      return {ParamId::kMinSpareServers, ParamId::kMinSpareThreads};
+    case ParamGroup::kSpareHigh:
+      return {ParamId::kMaxSpareServers, ParamId::kMaxSpareThreads};
+  }
+  assert(false && "unreachable");
+  return {ParamId::kMaxClients, ParamId::kMaxThreads};
+}
+
+}  // namespace rac::config

@@ -1,0 +1,85 @@
+// The tunable performance-critical parameters (paper Table 1).
+//
+// Eight runtime-configurable parameters across the web (Apache) and
+// application (Tomcat) tiers. The database tier keeps its defaults, as in
+// the paper. Ranges and defaults follow Table 1 of the paper (the published
+// table: MaxClients [50,600] default 150, KeepAlive timeout [1,21] default
+// 15, MinSpareServers [5,85] default 5, MaxSpareServers [15,95] default 15,
+// MaxThreads [50,600] default 200, Session timeout [1,35] default 30,
+// minSpareThreads [5,85] default 5, maxSpareThreads [15,95] default 50).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace rac::config {
+
+enum class ParamId : int {
+  kMaxClients = 0,        // web: max simultaneously served connections
+  kKeepAliveTimeout = 1,  // web: seconds an idle keep-alive connection is held
+  kMinSpareServers = 2,   // web: lower bound of the idle worker pool
+  kMaxSpareServers = 3,   // web: upper bound of the idle worker pool
+  kMaxThreads = 4,        // app: max request-processing threads
+  kSessionTimeout = 5,    // app: minutes before an idle session expires
+  kMinSpareThreads = 6,   // app: lower bound of the idle thread pool
+  kMaxSpareThreads = 7,   // app: upper bound of the idle thread pool
+};
+
+inline constexpr std::size_t kNumParams = 8;
+
+enum class Tier { kWeb, kApp };
+
+/// The paper's parameter grouping (Section 4.1): parameters limited by the
+/// same system property are tuned together during offline data collection.
+enum class ParamGroup : int {
+  kCapacity = 0,        // MaxClients, MaxThreads: limited by system capacity
+  kConnectionLife = 1,  // KeepAlive timeout, Session timeout: multi-request
+                        // connection/session lifetime
+  kSpareLow = 2,        // MinSpareServers, minSpareThreads
+  kSpareHigh = 3,       // MaxSpareServers, maxSpareThreads
+};
+
+inline constexpr std::size_t kNumGroups = 4;
+
+struct ParamSpec {
+  ParamId id;
+  std::string_view name;
+  Tier tier;
+  int min;
+  int max;
+  int default_value;
+  /// Grid step used during online learning (fine granularity).
+  int fine_step;
+  ParamGroup group;
+};
+
+/// The full Table-1 catalog, indexed by ParamId.
+std::span<const ParamSpec, kNumParams> catalog() noexcept;
+
+const ParamSpec& spec(ParamId id) noexcept;
+
+constexpr std::size_t index(ParamId id) noexcept {
+  return static_cast<std::size_t>(id);
+}
+
+std::string_view name(ParamId id) noexcept;
+std::string_view tier_name(Tier tier) noexcept;
+std::string_view group_name(ParamGroup group) noexcept;
+
+/// Members of a group, in ParamId order.
+std::array<ParamId, 2> group_members(ParamGroup group) noexcept;
+
+inline constexpr std::array<ParamId, kNumParams> kAllParams = {
+    ParamId::kMaxClients,      ParamId::kKeepAliveTimeout,
+    ParamId::kMinSpareServers, ParamId::kMaxSpareServers,
+    ParamId::kMaxThreads,      ParamId::kSessionTimeout,
+    ParamId::kMinSpareThreads, ParamId::kMaxSpareThreads,
+};
+
+inline constexpr std::array<ParamGroup, kNumGroups> kAllGroups = {
+    ParamGroup::kCapacity, ParamGroup::kConnectionLife, ParamGroup::kSpareLow,
+    ParamGroup::kSpareHigh};
+
+}  // namespace rac::config

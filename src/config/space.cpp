@@ -1,0 +1,149 @@
+#include "config/space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rac::config {
+
+std::string Action::to_string() const {
+  if (is_keep()) return "keep";
+  std::ostringstream os;
+  os << (direction() > 0 ? "inc " : "dec ") << name(param());
+  return os.str();
+}
+
+ConfigSpace::ConfigSpace(int coarse_levels) : coarse_levels_(coarse_levels) {
+  if (coarse_levels < 2) {
+    throw std::invalid_argument("ConfigSpace: need at least 2 coarse levels");
+  }
+}
+
+std::vector<Action> ConfigSpace::all_actions() {
+  std::vector<Action> actions;
+  actions.reserve(kNumActions);
+  for (std::size_t id = 0; id < kNumActions; ++id) {
+    actions.emplace_back(static_cast<int>(id));
+  }
+  return actions;
+}
+
+Configuration ConfigSpace::apply(const Configuration& c, Action a) noexcept {
+  Configuration next = c;
+  if (!a.is_keep()) next.step(a.param(), a.direction());
+  return next;
+}
+
+bool ConfigSpace::changes(const Configuration& c, Action a) noexcept {
+  if (a.is_keep()) return false;
+  Configuration next = c;
+  return next.step(a.param(), a.direction());
+}
+
+std::vector<Configuration> ConfigSpace::neighbors(const Configuration& c) {
+  std::vector<Configuration> out;
+  out.reserve(kNumActions);
+  out.push_back(c);
+  for (ParamId id : kAllParams) {
+    for (int dir : {+1, -1}) {
+      Configuration next = c;
+      if (next.step(id, dir)) out.push_back(next);
+    }
+  }
+  return out;
+}
+
+std::vector<int> ConfigSpace::fine_grid(ParamId id) {
+  const auto& s = spec(id);
+  std::vector<int> grid;
+  for (int v = s.min; v < s.max; v += s.fine_step) grid.push_back(v);
+  grid.push_back(s.max);
+  return grid;
+}
+
+Configuration ConfigSpace::snap_to_fine(const Configuration& c) noexcept {
+  Configuration out = c;
+  for (ParamId id : kAllParams) {
+    const auto& s = spec(id);
+    const int v = c.value(id);
+    const int steps = static_cast<int>(
+        std::lround(static_cast<double>(v - s.min) / s.fine_step));
+    out.set(id, std::min(s.min + steps * s.fine_step, s.max));
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::coarse_fractions() const {
+  std::vector<double> fr(static_cast<std::size_t>(coarse_levels_));
+  for (int i = 0; i < coarse_levels_; ++i) {
+    fr[static_cast<std::size_t>(i)] =
+        static_cast<double>(i) / static_cast<double>(coarse_levels_ - 1);
+  }
+  return fr;
+}
+
+Configuration ConfigSpace::expand(const GroupFractions& fractions) noexcept {
+  Configuration c;
+  for (std::size_t g = 0; g < kNumGroups; ++g) {
+    for (ParamId member : group_members(static_cast<ParamGroup>(g))) {
+      c.set_normalized(member, fractions[g]);
+    }
+  }
+  return snap_to_fine(c);
+}
+
+std::vector<Configuration> ConfigSpace::coarse_grid() const {
+  const auto fractions = coarse_fractions();
+  std::vector<Configuration> grid;
+  grid.reserve(static_cast<std::size_t>(
+      std::pow(static_cast<double>(coarse_levels_), kNumGroups)));
+  std::array<std::size_t, kNumGroups> idx{};
+  while (true) {
+    GroupFractions f{};
+    for (std::size_t g = 0; g < kNumGroups; ++g) f[g] = fractions[idx[g]];
+    grid.push_back(expand(f));
+    // Odometer increment.
+    std::size_t g = 0;
+    for (; g < kNumGroups; ++g) {
+      if (++idx[g] < fractions.size()) break;
+      idx[g] = 0;
+    }
+    if (g == kNumGroups) break;
+  }
+  return grid;
+}
+
+GroupFractions ConfigSpace::nearest_coarse_fractions(
+    const Configuration& c) const {
+  GroupFractions out{};
+  for (std::size_t g = 0; g < kNumGroups; ++g) {
+    const auto members = group_members(static_cast<ParamGroup>(g));
+    double mean = 0.0;
+    for (ParamId member : members) mean += c.normalized(member);
+    mean /= static_cast<double>(members.size());
+    // Snap to the nearest coarse level.
+    const double scaled = mean * static_cast<double>(coarse_levels_ - 1);
+    const double snapped =
+        std::round(scaled) / static_cast<double>(coarse_levels_ - 1);
+    out[g] = std::clamp(snapped, 0.0, 1.0);
+  }
+  return out;
+}
+
+Configuration ConfigSpace::nearest_coarse(const Configuration& c) const {
+  return expand(nearest_coarse_fractions(c));
+}
+
+Configuration ConfigSpace::random_fine(util::Rng& rng) {
+  Configuration c;
+  for (ParamId id : kAllParams) {
+    const auto grid = fine_grid(id);
+    c.set(id, grid[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<int>(grid.size()) - 1))]);
+  }
+  return c;
+}
+
+}  // namespace rac::config

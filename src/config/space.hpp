@@ -1,0 +1,130 @@
+// The configuration state/action space.
+//
+// Actions follow the paper (Section 3.2): for each parameter there are
+// three basic actions -- increase, decrease, keep -- and one action touches
+// one parameter per reconfiguration step. We encode the joint action set as
+// 2 * kNumParams + 1 discrete actions (a global "keep" plus inc/dec per
+// parameter), which is exactly the set of paper action vectors with one
+// taken entry.
+//
+// Two granularities are exposed (Section 4.1):
+//   * fine grid   -- the per-parameter `fine_step` used during online
+//                    learning;
+//   * coarse grid -- a few levels per parameter *group* used during offline
+//                    training-data collection (parameter grouping: members
+//                    of a group always move together, at the same
+//                    normalized position in their respective ranges).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "config/params.hpp"
+#include "util/rng.hpp"
+
+namespace rac::config {
+
+/// A discrete reconfiguration action.
+class Action {
+ public:
+  static constexpr int kKeepId = 0;
+
+  constexpr Action() noexcept : id_(kKeepId) {}
+  constexpr explicit Action(int id) noexcept : id_(id) {}
+
+  static constexpr Action keep() noexcept { return Action{kKeepId}; }
+  static constexpr Action increase(ParamId p) noexcept {
+    return Action{1 + 2 * static_cast<int>(p)};
+  }
+  static constexpr Action decrease(ParamId p) noexcept {
+    return Action{2 + 2 * static_cast<int>(p)};
+  }
+
+  constexpr int id() const noexcept { return id_; }
+  constexpr bool is_keep() const noexcept { return id_ == kKeepId; }
+  /// Parameter touched; only valid when !is_keep().
+  constexpr ParamId param() const noexcept {
+    return static_cast<ParamId>((id_ - 1) / 2);
+  }
+  /// +1 for increase, -1 for decrease, 0 for keep.
+  constexpr int direction() const noexcept {
+    if (is_keep()) return 0;
+    return (id_ % 2 == 1) ? +1 : -1;
+  }
+
+  std::string to_string() const;
+
+  constexpr bool operator==(const Action&) const noexcept = default;
+
+ private:
+  int id_;
+};
+
+inline constexpr std::size_t kNumActions = 2 * kNumParams + 1;
+
+/// Position of a parameter group on its coarse grid, as a normalized
+/// fraction in [0, 1] of each member's range.
+using GroupFractions = std::array<double, kNumGroups>;
+
+class ConfigSpace {
+ public:
+  /// `coarse_levels` is the number of positions per group used for offline
+  /// data collection (paper uses a coarse granularity; 4 levels per group
+  /// gives 4^4 = 256 sampled configurations).
+  explicit ConfigSpace(int coarse_levels = 4);
+
+  int coarse_levels() const noexcept { return coarse_levels_; }
+
+  // -- Actions ------------------------------------------------------------
+  static std::size_t num_actions() noexcept { return kNumActions; }
+  static std::vector<Action> all_actions();
+
+  /// Apply an action on the fine grid; boundary moves clamp (the action
+  /// becomes a no-op). Returns the successor configuration.
+  static Configuration apply(const Configuration& c, Action a) noexcept;
+
+  /// True if the action changes the configuration (i.e. not keep and not a
+  /// clamped boundary move).
+  static bool changes(const Configuration& c, Action a) noexcept;
+
+  /// All distinct successor states of `c` (including `c` itself for keep).
+  static std::vector<Configuration> neighbors(const Configuration& c);
+
+  // -- Fine grid ----------------------------------------------------------
+  /// All values of a parameter's fine grid: min, min+step, ..., max (the
+  /// max is always included even if the last step is short).
+  static std::vector<int> fine_grid(ParamId id);
+
+  /// Snap each parameter to the nearest fine-grid value.
+  static Configuration snap_to_fine(const Configuration& c) noexcept;
+
+  // -- Coarse grid / grouping ----------------------------------------------
+  /// The normalized positions of the coarse grid (size == coarse_levels).
+  std::vector<double> coarse_fractions() const;
+
+  /// Expand group positions into a full configuration: each member of a
+  /// group is set to the same normalized position, snapped to its fine grid.
+  static Configuration expand(const GroupFractions& fractions) noexcept;
+
+  /// Enumerate the full coarse sample set (coarse_levels ^ kNumGroups
+  /// configurations).
+  std::vector<Configuration> coarse_grid() const;
+
+  /// Group positions of the coarse configuration nearest to `c`
+  /// (per-group mean of member fractions, snapped to the coarse levels).
+  GroupFractions nearest_coarse_fractions(const Configuration& c) const;
+
+  /// The coarse configuration nearest to `c`.
+  Configuration nearest_coarse(const Configuration& c) const;
+
+  /// Uniformly random configuration on the fine grid.
+  static Configuration random_fine(util::Rng& rng);
+
+ private:
+  int coarse_levels_;
+};
+
+}  // namespace rac::config

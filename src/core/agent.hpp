@@ -1,0 +1,31 @@
+// Interface shared by every auto-configuration policy (the RAC agent and
+// the paper's two comparison baselines).
+//
+// The interaction protocol mirrors the paper's management loop: once per
+// measurement interval the agent proposes the configuration to run next
+// (`decide`), the environment runs it for one interval, and the resulting
+// application-level measurement is reported back (`observe`).
+#pragma once
+
+#include <string>
+
+#include "config/configuration.hpp"
+#include "env/environment.hpp"
+
+namespace rac::core {
+
+class ConfigAgent {
+ public:
+  virtual ~ConfigAgent() = default;
+
+  /// Configuration to apply for the next measurement interval.
+  virtual config::Configuration decide() = 0;
+
+  /// Measurement of the interval that ran with `applied`.
+  virtual void observe(const config::Configuration& applied,
+                       const env::PerfSample& sample) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rac::core

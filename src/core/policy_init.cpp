@@ -1,0 +1,114 @@
+#include "core/policy_init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.hpp"
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace rac::core {
+
+double InitialPolicy::predict_response_ms(const config::Configuration& c) const {
+  if (!surface.fitted()) return sla.reference_response_ms;
+  const auto z = c.normalized_values();
+  // The surface predicts log(ms); clamp the exponent so a wild
+  // extrapolation cannot overflow.
+  return std::exp(std::clamp(surface.predict(z), 0.0, 12.0));
+}
+
+double InitialPolicy::predict_reward(const config::Configuration& c) const {
+  return reward_from_response(sla, predict_response_ms(c));
+}
+
+InitialPolicy learn_initial_policy(env::Environment& environment,
+                                   const PolicyInitOptions& options) {
+  if (options.samples_per_config < 1) {
+    throw std::invalid_argument("learn_initial_policy: bad sample count");
+  }
+
+  InitialPolicy policy;
+  policy.context = environment.context();
+  policy.sla = options.sla;
+
+  // --- steps 1-2: grouped coarse data collection --------------------------
+  const config::ConfigSpace space(options.coarse_levels);
+  std::vector<config::Configuration> samples = space.coarse_grid();
+  // The running system's defaults are measured anyway before any tuning;
+  // include them so the initial policy knows the online starting state.
+  samples.push_back(config::Configuration::defaults());
+
+  std::vector<double> features;  // normalized configs, row-major
+  std::vector<double> responses;
+  features.reserve(samples.size() * config::kNumParams);
+  responses.reserve(samples.size());
+
+  policy.best_sampled_response_ms = std::numeric_limits<double>::infinity();
+  for (const auto& sample : samples) {
+    double total = 0.0;
+    for (int rep = 0; rep < options.samples_per_config; ++rep) {
+      total += environment.measure(sample).response_ms;
+    }
+    const double response = total / options.samples_per_config;
+    const auto z = sample.normalized_values();
+    features.insert(features.end(), z.begin(), z.end());
+    responses.push_back(response);
+    if (response < policy.best_sampled_response_ms) {
+      policy.best_sampled_response_ms = response;
+      policy.best_sampled = sample;
+    }
+  }
+
+  // --- step 3: polynomial regression over the samples ---------------------
+  std::vector<double> log_responses;
+  log_responses.reserve(responses.size());
+  for (double r : responses) log_responses.push_back(std::log(std::max(r, 1.0)));
+  // Cubic per-dimension terms need at least 4 distinct positions per group
+  // to be identified; with coarser sampling fall back to quadratic.
+  const int surface_degree = options.coarse_levels >= 4 ? 3 : 2;
+  const std::size_t surface_width =
+      1 + static_cast<std::size_t>(surface_degree) * config::kNumParams +
+      config::kNumParams * (config::kNumParams - 1) / 2;
+  if (samples.size() < surface_width) {
+    throw std::invalid_argument(
+        "learn_initial_policy: coarse_levels too small -- " +
+        std::to_string(samples.size()) + " samples cannot identify the " +
+        std::to_string(surface_width) + "-feature regression surface");
+  }
+  policy.surface = util::QuadraticSurface::fit(features, config::kNumParams,
+                                               log_responses, 1e-4,
+                                               surface_degree);
+  {
+    std::vector<double> predicted;
+    predicted.reserve(samples.size());
+    for (const auto& sample : samples) {
+      predicted.push_back(policy.predict_response_ms(sample));
+    }
+    policy.regression_r2 = util::r_squared(responses, predicted);
+  }
+
+  // --- step 4: offline RL over the predicted reward model -----------------
+  // Rewards blend the measured samples (exact where we have them) with the
+  // regression's predictions elsewhere; trajectories starting from every
+  // coarse configuration wander into the fine grid, seeding Q-values in
+  // the neighbourhoods the online agent will traverse.
+  std::unordered_map<config::Configuration, double, config::ConfigurationHash>
+      measured;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    measured.emplace(samples[i], responses[i]);
+  }
+  const rl::RewardFn reward = [&](const config::Configuration& c) {
+    const auto it = measured.find(c);
+    const double response =
+        it != measured.end() ? it->second : policy.predict_response_ms(c);
+    return reward_from_response(options.sla, response);
+  };
+
+  util::Rng rng(options.seed);
+  rl::batch_train(policy.table, samples, reward, options.offline_td, rng);
+  return policy;
+}
+
+}  // namespace rac::core

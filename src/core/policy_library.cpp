@@ -1,0 +1,54 @@
+#include "core/policy_library.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rac::core {
+
+void InitialPolicyLibrary::add(InitialPolicy policy) {
+  policies_.push_back(std::move(policy));
+}
+
+std::optional<std::size_t> InitialPolicyLibrary::find_context(
+    const env::SystemContext& context) const {
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    if (policies_[i].context == context) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> InitialPolicyLibrary::best_match(
+    const config::Configuration& configuration,
+    double measured_response_ms) const {
+  if (policies_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const double predicted =
+        policies_[i].predict_response_ms(configuration);
+    // Relative mismatch in log space: symmetric between over- and
+    // under-prediction.
+    const double score = std::abs(std::log(std::max(predicted, 1.0)) -
+                                  std::log(std::max(measured_response_ms, 1.0)));
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+InitialPolicyLibrary build_library(
+    const std::vector<env::SystemContext>& contexts,
+    const std::function<std::unique_ptr<env::Environment>(
+        const env::SystemContext&)>& make_env,
+    const PolicyInitOptions& options) {
+  InitialPolicyLibrary library;
+  for (const auto& context : contexts) {
+    auto environment = make_env(context);
+    library.add(learn_initial_policy(*environment, options));
+  }
+  return library;
+}
+
+}  // namespace rac::core

@@ -1,0 +1,55 @@
+// Library of offline-trained initial policies, one per anticipated system
+// context (paper Section 4.3).
+//
+// When the violation detector declares a context change, the agent switches
+// to "a most suitable initial policy according to the current performance":
+// the library scores each policy by how well its regression surface
+// explains the live measurement at the current configuration and returns
+// the best match. The agent is NOT told the new context -- matching is
+// purely observational.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/policy_init.hpp"
+
+namespace rac::core {
+
+class InitialPolicyLibrary {
+ public:
+  InitialPolicyLibrary() = default;
+
+  void add(InitialPolicy policy);
+
+  std::size_t size() const noexcept { return policies_.size(); }
+  bool empty() const noexcept { return policies_.empty(); }
+  const InitialPolicy& at(std::size_t i) const { return policies_.at(i); }
+
+  /// Index of the policy trained for exactly `context`, if any.
+  std::optional<std::size_t> find_context(
+      const env::SystemContext& context) const;
+
+  /// Index of the policy whose predicted response time at `configuration`
+  /// is closest (relatively) to the measured one. Returns nullopt for an
+  /// empty library.
+  std::optional<std::size_t> best_match(
+      const config::Configuration& configuration,
+      double measured_response_ms) const;
+
+ private:
+  std::vector<InitialPolicy> policies_;
+};
+
+/// Convenience: train one policy per context on freshly-constructed
+/// offline environments produced by `make_env`.
+InitialPolicyLibrary build_library(
+    const std::vector<env::SystemContext>& contexts,
+    const std::function<std::unique_ptr<env::Environment>(
+        const env::SystemContext&)>& make_env,
+    const PolicyInitOptions& options = {});
+
+}  // namespace rac::core

@@ -1,0 +1,117 @@
+#include "core/rac_agent.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace rac::core {
+
+RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
+                   std::optional<std::size_t> initial_policy)
+    : opt_(options),
+      library_(std::move(library)),
+      detector_(options.violation),
+      online_policy_(options.online_epsilon),
+      rng_(options.seed) {
+  if (!library_.empty()) {
+    load_policy(initial_policy.value_or(0));
+  }
+  // The management loop starts from the running system's configuration,
+  // which is the Table-1 default.
+  current_ = config::Configuration::defaults();
+}
+
+void RacAgent::load_policy(std::size_t index) {
+  qtable_ = library_.at(index).table;
+  active_policy_ = index;
+}
+
+std::string RacAgent::name() const {
+  std::string n = "RAC";
+  if (library_.empty()) n += "/no-init";
+  if (!opt_.online_learning) n += "/offline-only";
+  if (!opt_.adaptive_policy_switching && !library_.empty()) n += "/static-init";
+  return n;
+}
+
+config::Configuration RacAgent::decide() {
+  if (first_decide_) {
+    // Measure the starting configuration before acting (the agent needs a
+    // baseline observation).
+    first_decide_ = false;
+    return current_;
+  }
+  const config::Action action = online_policy_.select(qtable_, current_, rng_);
+  current_ = config::ConfigSpace::apply(current_, action);
+  return current_;
+}
+
+double RacAgent::lookup_response(const config::Configuration& c) const {
+  if (const auto measured = experience_.response_ms(c)) return *measured;
+  if (active_policy_.has_value()) {
+    const double predicted =
+        library_.at(*active_policy_).predict_response_ms(c);
+    const double calibration =
+        calibration_log_.empty() ? 1.0 : std::exp(calibration_log_.value());
+    return predicted * calibration;
+  }
+  // No knowledge at all: assume SLA-level performance (neutral reward).
+  return opt_.sla.reference_response_ms;
+}
+
+void RacAgent::retrain() {
+  // Batch sweep over every remembered state plus the current one, so the
+  // fresh observation propagates through the Q-table (Section 4.2).
+  std::vector<config::Configuration> states = experience_.configurations();
+  if (states.empty()) states.push_back(current_);
+  const rl::RewardFn reward = [this](const config::Configuration& c) {
+    return reward_from_response(opt_.sla, lookup_response(c));
+  };
+  rl::batch_train(qtable_, states, reward, opt_.online_td, rng_);
+}
+
+void RacAgent::observe(const config::Configuration& applied,
+                       const env::PerfSample& sample) {
+  current_ = applied;
+  experience_.record(applied, sample.response_ms);
+
+  // Update the surface calibration from this measurement (log-space ratio
+  // so over- and under-prediction are symmetric).
+  if (active_policy_.has_value() && sample.response_ms > 0.0) {
+    const double predicted =
+        library_.at(*active_policy_).predict_response_ms(applied);
+    if (predicted > 0.0) {
+      calibration_log_.add(std::log(sample.response_ms / predicted));
+    }
+  }
+
+  // Context-change detection and policy switching (Algorithm 3 lines 6-8).
+  if (detector_.observe(sample.response_ms)) {
+    if (opt_.adaptive_policy_switching && !library_.empty()) {
+      const auto match = library_.best_match(applied, sample.response_ms);
+      if (match.has_value() && match != active_policy_) {
+        util::log_info("RAC: context change detected, switching to policy ",
+                       *match, " (", library_.at(*match).context.name(), ")");
+        load_policy(*match);
+        ++policy_switches_;
+      }
+    }
+    // Stale measurements (and the old context's calibration) mislead
+    // retraining after the environment changed.
+    experience_.clear();
+    experience_.record(applied, sample.response_ms);
+    calibration_log_.reset();
+    if (active_policy_.has_value() && sample.response_ms > 0.0) {
+      const double predicted =
+          library_.at(*active_policy_).predict_response_ms(applied);
+      if (predicted > 0.0) {
+        calibration_log_.add(std::log(sample.response_ms / predicted));
+      }
+    }
+  }
+
+  if (opt_.online_learning) retrain();
+}
+
+}  // namespace rac::core

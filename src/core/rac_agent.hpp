@@ -1,0 +1,96 @@
+// The RAC online auto-configuration agent (paper Algorithm 3).
+//
+// Per measurement interval:
+//   1. issue a reconfiguration action epsilon-greedily from the current
+//      Q-table (paper: epsilon = 0.05 online);
+//   2. measure the system's application-level performance;
+//   3. check for context changes (ViolationDetector); after s_thr
+//      consecutive violations switch to the best-matching initial policy;
+//   4. fold the measurement into the experience store and retrain the
+//      Q-table by batch TD sweeps (Algorithm 1 with the paper's batch
+//      exploration rate 0.1) over every remembered state, so all states
+//      learn about the new observation;
+//   5. move to the next state.
+//
+// Ablation switches reproduce the paper's study: online learning on/off
+// (Fig. 6), policy initialization on/off (Fig. 7), adaptive vs static
+// initial policy (Figs. 9, 10), online exploration rate (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/agent.hpp"
+#include "core/policy_library.hpp"
+#include "core/reward.hpp"
+#include "core/violation.hpp"
+#include "rl/experience.hpp"
+#include "rl/policy.hpp"
+#include "rl/qtable.hpp"
+#include "rl/td_learner.hpp"
+
+namespace rac::core {
+
+struct RacOptions {
+  SlaSpec sla{};
+  /// Online action-selection exploration (paper: 0.05).
+  double online_epsilon = 0.05;
+  /// Batch-retraining constants (paper: alpha=.1, gamma=.9, eps=.1).
+  rl::TdParams online_td{0.1, 0.9, 0.1, 1e-3, 8, 40};
+  ViolationOptions violation{};
+  /// Fig. 6 ablation: refine the policy from online measurements.
+  bool online_learning = true;
+  /// Fig. 9/10 ablation: switch initial policies on context change. When
+  /// false the agent keeps its starting policy and relies on online
+  /// learning alone.
+  bool adaptive_policy_switching = true;
+  std::uint64_t seed = 11;
+};
+
+class RacAgent : public ConfigAgent {
+ public:
+  /// `library` may be empty (the paper's "without policy initialization"
+  /// agent). `initial_policy` optionally picks the starting policy index;
+  /// by default the first library entry is used.
+  RacAgent(const RacOptions& options, InitialPolicyLibrary library,
+           std::optional<std::size_t> initial_policy = std::nullopt);
+
+  config::Configuration decide() override;
+  void observe(const config::Configuration& applied,
+               const env::PerfSample& sample) override;
+  std::string name() const override;
+
+  // -- introspection (tests, harness commentary) ---------------------------
+  const rl::QTable& qtable() const noexcept { return qtable_; }
+  const config::Configuration& current() const noexcept { return current_; }
+  std::optional<std::size_t> active_policy() const noexcept {
+    return active_policy_;
+  }
+  int policy_switches() const noexcept { return policy_switches_; }
+  const rl::ExperienceStore& experience() const noexcept { return experience_; }
+
+ private:
+  RacOptions opt_;
+  InitialPolicyLibrary library_;
+  std::optional<std::size_t> active_policy_;
+  rl::QTable qtable_;
+  rl::ExperienceStore experience_;
+  ViolationDetector detector_;
+  rl::EpsilonGreedy online_policy_;
+  util::Rng rng_;
+  config::Configuration current_;  // state the system currently runs
+  bool first_decide_ = true;
+  int policy_switches_ = 0;
+  // Online calibration of the offline surface: the live environment's
+  // response-time *level* can differ from the offline traces' (stale
+  // staging data, or a pinned policy from a foreign context); a smoothed
+  // measured/predicted ratio rescales the surface so unvisited states
+  // track the live system's magnitude while keeping the learned shape.
+  util::Ewma calibration_log_{0.25};
+
+  void load_policy(std::size_t index);
+  double lookup_response(const config::Configuration& c) const;
+  void retrain();
+};
+
+}  // namespace rac::core

@@ -1,0 +1,3 @@
+#include "core/reward.hpp"
+
+// Header-only; this translation unit anchors the library target.

@@ -1,0 +1,27 @@
+// The immediate reward (paper Section 3.2): r = SLA - perf.
+//
+// We normalize by the SLA reference so that rewards are dimensionless and
+// Q-values stay well-scaled across contexts: a response time at the SLA
+// yields 0, a response time of 0 yields +1, and slower-than-SLA intervals
+// yield negative penalties (unbounded below, as in the paper).
+#pragma once
+
+namespace rac::core {
+
+struct SlaSpec {
+  /// Reference response time from the service-level agreement (ms).
+  double reference_response_ms = 1000.0;
+};
+
+/// Normalized immediate reward for a measured mean response time.
+inline double reward_from_response(const SlaSpec& sla, double response_ms) {
+  return (sla.reference_response_ms - response_ms) / sla.reference_response_ms;
+}
+
+/// Inverse mapping (used to turn predicted rewards back into predicted
+/// response times for reporting).
+inline double response_from_reward(const SlaSpec& sla, double reward) {
+  return sla.reference_response_ms * (1.0 - reward);
+}
+
+}  // namespace rac::core

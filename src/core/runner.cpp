@@ -1,0 +1,81 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rac::core {
+
+double AgentTrace::mean_response_ms(int from, int to) const {
+  if (to < 0) to = static_cast<int>(records.size());
+  from = std::max(0, from);
+  to = std::min(to, static_cast<int>(records.size()));
+  if (from >= to) return 0.0;
+  double total = 0.0;
+  for (int i = from; i < to; ++i) {
+    total += records[static_cast<std::size_t>(i)].response_ms;
+  }
+  return total / static_cast<double>(to - from);
+}
+
+int AgentTrace::settled_iteration(int from, int to, int window,
+                                  double tolerance) const {
+  const int n = to < 0 ? static_cast<int>(records.size())
+                       : std::min(to, static_cast<int>(records.size()));
+  for (int candidate = std::max(from, 0); candidate + window <= n;
+       ++candidate) {
+    // Trailing-mean stability from `candidate` to the end of the range.
+    bool stable = true;
+    for (int i = candidate; i < n; ++i) {
+      const int lo = std::max(candidate, i - window + 1);
+      double mean = 0.0;
+      for (int j = lo; j <= i; ++j) {
+        mean += records[static_cast<std::size_t>(j)].response_ms;
+      }
+      mean /= static_cast<double>(i - lo + 1);
+      const double rt = records[static_cast<std::size_t>(i)].response_ms;
+      if (mean > 0.0 && std::abs(rt - mean) / mean > tolerance) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) return candidate;
+  }
+  return -1;
+}
+
+AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
+                     const ContextSchedule& schedule, int iterations) {
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    if (schedule[i].start_iteration <= schedule[i - 1].start_iteration) {
+      throw std::invalid_argument("run_agent: schedule not sorted");
+    }
+  }
+
+  AgentTrace trace;
+  trace.agent = agent.name();
+  trace.records.reserve(static_cast<std::size_t>(iterations));
+
+  std::size_t next_switch = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    while (next_switch < schedule.size() &&
+           schedule[next_switch].start_iteration == iter) {
+      environment.set_context(schedule[next_switch].context);
+      ++next_switch;
+    }
+    const config::Configuration applied = agent.decide();
+    const env::PerfSample sample = environment.measure(applied);
+    agent.observe(applied, sample);
+
+    IterationRecord record;
+    record.iteration = iter;
+    record.response_ms = sample.response_ms;
+    record.throughput_rps = sample.throughput_rps;
+    record.configuration = applied;
+    record.context = environment.context();
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+}  // namespace rac::core

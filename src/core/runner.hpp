@@ -1,0 +1,53 @@
+// Experiment loop shared by the evaluation harnesses: drive one agent
+// against an environment for a number of measurement intervals while a
+// context schedule replays workload / VM-resource changes behind the
+// agent's back (exactly the paper's Figure-5/10 setup).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "env/environment.hpp"
+
+namespace rac::core {
+
+struct ScheduleEntry {
+  int start_iteration = 0;  // first iteration run under this context
+  env::SystemContext context;
+};
+
+/// Entries must be sorted by start_iteration; the first should start at 0.
+using ContextSchedule = std::vector<ScheduleEntry>;
+
+struct IterationRecord {
+  int iteration = 0;
+  double response_ms = 0.0;
+  double throughput_rps = 0.0;
+  config::Configuration configuration;
+  env::SystemContext context;
+};
+
+struct AgentTrace {
+  std::string agent;
+  std::vector<IterationRecord> records;
+
+  /// Mean response time over iterations [from, to).
+  double mean_response_ms(int from = 0, int to = -1) const;
+
+  /// First iteration >= `from` after which every response time up to `to`
+  /// (exclusive; -1 = end of trace) stays within `tolerance` (relative) of
+  /// the mean of the trailing `window` iterations; -1 if the range never
+  /// settles. Use a `to` at a context-switch boundary to measure one
+  /// segment.
+  int settled_iteration(int from, int to = -1, int window = 5,
+                        double tolerance = 0.25) const;
+};
+
+/// Run `agent` for `iterations` intervals. The schedule's context switches
+/// are applied to the environment before the matching iteration; the agent
+/// is never told.
+AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
+                     const ContextSchedule& schedule, int iterations);
+
+}  // namespace rac::core

@@ -1,0 +1,42 @@
+#include "core/violation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rac::core {
+
+ViolationDetector::ViolationDetector(const ViolationOptions& options)
+    : opt_(options), history_(options.window) {
+  if (options.window == 0 || options.threshold <= 0.0 ||
+      options.consecutive_limit < 1) {
+    throw std::invalid_argument("ViolationDetector: bad options");
+  }
+}
+
+bool ViolationDetector::observe(double response_ms) {
+  if (history_.size() < opt_.min_history) {
+    // Not enough history to call anything a violation yet.
+    last_violation_ = false;
+    consecutive_ = 0;
+    history_.add(response_ms);
+    return false;
+  }
+  const double avg = history_.mean();
+  const double pvar = avg > 0.0 ? std::abs(response_ms - avg) / avg : 0.0;
+  last_violation_ = pvar >= opt_.threshold;
+  consecutive_ = last_violation_ ? consecutive_ + 1 : 0;
+  history_.add(response_ms);
+  if (consecutive_ >= opt_.consecutive_limit) {
+    reset();
+    return true;
+  }
+  return false;
+}
+
+void ViolationDetector::reset() {
+  history_.reset();
+  consecutive_ = 0;
+  last_violation_ = false;
+}
+
+}  // namespace rac::core

@@ -1,0 +1,48 @@
+// Context-change detection (paper Section 4.3).
+//
+// The agent compares each interval's response time with the mean of the
+// last n measurements:
+//
+//     pvar = |rt_cur - rt_avg| / rt_avg,    violation <=> pvar >= v_thr
+//
+// After s_thr consecutive violations the agent concludes the system context
+// (traffic mix or VM resources) has changed. Paper constants: n = 10,
+// v_thr = 0.3, s_thr = 5.
+#pragma once
+
+#include <cstddef>
+
+#include "util/stats.hpp"
+
+namespace rac::core {
+
+struct ViolationOptions {
+  std::size_t window = 10;     // n: history length for the running average
+  double threshold = 0.3;      // v_thr: relative deviation for a violation
+  int consecutive_limit = 5;   // s_thr: violations in a row => context change
+  std::size_t min_history = 3; // observations needed before judging
+};
+
+class ViolationDetector {
+ public:
+  explicit ViolationDetector(const ViolationOptions& options = {});
+
+  /// Feed one measurement. Returns true when a context change is declared
+  /// (at which point the internal history resets for the new context).
+  bool observe(double response_ms);
+
+  /// Whether the most recent observation was a violation.
+  bool last_was_violation() const noexcept { return last_violation_; }
+  int consecutive_violations() const noexcept { return consecutive_; }
+  const ViolationOptions& options() const noexcept { return opt_; }
+
+  void reset();
+
+ private:
+  ViolationOptions opt_;
+  util::SlidingWindow history_;
+  int consecutive_ = 0;
+  bool last_violation_ = false;
+};
+
+}  // namespace rac::core

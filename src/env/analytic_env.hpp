@@ -1,0 +1,94 @@
+// Analytic performance model of the simulated three-tier testbed.
+//
+// Solves the closed interactive network with exact MVA (src/queueing) over
+// two load-dependent stations -- the web VM and the app+db VM -- whose
+// rate tables encode the Table-1 parameters' mechanisms, using the same
+// SystemParams constants as the discrete-event simulator:
+//
+//   * MaxClients caps the concurrency the web station can serve; idle
+//     keep-alive connections occupy part of that cap (they hold worker
+//     processes), so the effective active cap is MaxClients minus the
+//     expected number of parked connections.
+//   * KeepAlive timeout trades the connection-setup demand saved by reuse
+//     against the worker-slots parked on idle connections.
+//   * Spare-server bounds trade fork-wait latency (too few spares) against
+//     worker memory and pool churn (too many / inverted bounds).
+//   * MaxThreads caps the app+db station's served concurrency; threads
+//     consume app-VM memory.
+//   * Session timeout trades session-rebuild database work against session
+//     memory; both act on the database through its buffer pool.
+//   * The database buffer pool is the app VM's leftover memory; a working
+//     set larger than the pool inflates every database demand, and
+//     concurrent writers add lock contention.
+//
+// A short fixed-point iteration couples throughput-dependent quantities
+// (parked connections, pool sizes, live sessions, writer concurrency) with
+// the MVA solution. Measurement noise is multiplicative lognormal.
+#pragma once
+
+#include <cstdint>
+
+#include "env/environment.hpp"
+#include "tiersim/system_params.hpp"
+#include "util/rng.hpp"
+
+namespace rac::env {
+
+struct AnalyticEnvOptions {
+  int num_clients = 400;
+  /// Lognormal sigma of measurement noise; 0 disables noise.
+  double noise_sigma = 0.10;
+  /// Mechanism constants shared with the DES.
+  tiersim::SystemParams system{};
+  std::uint64_t seed = 42;
+  /// Coupling fixed-point iterations (converges in a handful).
+  int fixed_point_iterations = 6;
+  /// Fraction of the interval affected by bursts.
+  double burst_prob = 0.30;
+};
+
+/// Model internals exposed for tests, calibration, and the experiment
+/// harnesses' commentary columns.
+struct ModelDiagnostics {
+  double throughput_rps = 0.0;
+  double response_s = 0.0;
+  double held_connections = 0.0;   // workers parked on keep-alive
+  double active_need = 0.0;        // X * R: in-flight requests
+  double effective_web_cap = 0.0;  // MaxClients - held
+  double connection_reuse = 0.0;   // probability a request reuses its conn
+  double live_sessions = 0.0;
+  double db_buffer_mb = 0.0;
+  double db_miss_mult = 1.0;
+  double write_lock_mult = 1.0;
+  double web_workers = 0.0;        // expected worker-pool size
+  double app_threads = 0.0;        // expected thread-pool size
+  double web_demand_ms = 0.0;      // effective per-request web demand
+  double appdb_demand_ms = 0.0;    // effective per-request app+db demand
+  double fork_wait_ms = 0.0;       // expected fork-latency penalty
+  double burst_penalty_ms = 0.0;   // expected burst-overload penalty
+  double app_swap_factor = 1.0;
+  double web_swap_factor = 1.0;
+};
+
+class AnalyticEnv : public Environment {
+ public:
+  explicit AnalyticEnv(const SystemContext& context,
+                       const AnalyticEnvOptions& options = {});
+
+  PerfSample measure(const config::Configuration& configuration) override;
+  void set_context(const SystemContext& context) override { ctx_ = context; }
+  SystemContext context() const override { return ctx_; }
+
+  /// Deterministic model evaluation (no measurement noise).
+  PerfSample evaluate(const config::Configuration& configuration,
+                      ModelDiagnostics* diagnostics = nullptr) const;
+
+  const AnalyticEnvOptions& options() const noexcept { return opt_; }
+
+ private:
+  SystemContext ctx_;
+  AnalyticEnvOptions opt_;
+  util::Rng rng_;
+};
+
+}  // namespace rac::env

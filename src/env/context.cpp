@@ -1,0 +1,33 @@
+#include "env/context.hpp"
+
+#include <stdexcept>
+
+namespace rac::env {
+
+tiersim::VmSpec vm_spec(VmLevel level) noexcept {
+  switch (level) {
+    case VmLevel::kLevel1: return {4, 4096.0};
+    case VmLevel::kLevel2: return {3, 3072.0};
+    case VmLevel::kLevel3: return {2, 2048.0};
+  }
+  return {4, 4096.0};
+}
+
+tiersim::VmSpec web_vm_spec() noexcept { return {2, 2048.0}; }
+
+std::string level_name(VmLevel level) {
+  return "Level-" + std::to_string(static_cast<int>(level));
+}
+
+std::string SystemContext::name() const {
+  return std::string(workload::mix_name(mix)) + "/" + level_name(level);
+}
+
+SystemContext table2_context(int number) {
+  if (number < 1 || number > static_cast<int>(kTable2Contexts.size())) {
+    throw std::out_of_range("table2_context: contexts are numbered 1..6");
+  }
+  return kTable2Contexts[static_cast<std::size_t>(number - 1)];
+}
+
+}  // namespace rac::env

@@ -1,0 +1,54 @@
+// System contexts: the combination of a TPC-W traffic mix and a VM
+// resource level (paper Section 4.3 and Table 2).
+//
+// The paper defines three resource-provisioning levels for the VM hosting
+// the application and database tiers (the web VM stays fixed):
+//   Level-1: 4 virtual CPUs, 4 GB memory
+//   Level-2: 3 virtual CPUs, 3 GB memory
+//   Level-3: 2 virtual CPUs, 2 GB memory
+// and six example contexts (Table 2) combining mixes with levels.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "tiersim/system_params.hpp"
+#include "workload/tpcw.hpp"
+
+namespace rac::env {
+
+enum class VmLevel : int { kLevel1 = 1, kLevel2 = 2, kLevel3 = 3 };
+
+inline constexpr std::array<VmLevel, 3> kAllLevels = {
+    VmLevel::kLevel1, VmLevel::kLevel2, VmLevel::kLevel3};
+
+/// Resources of the app+db VM at a provisioning level.
+tiersim::VmSpec vm_spec(VmLevel level) noexcept;
+
+/// The fixed web-tier VM.
+tiersim::VmSpec web_vm_spec() noexcept;
+
+std::string level_name(VmLevel level);
+
+struct SystemContext {
+  workload::MixType mix = workload::MixType::kShopping;
+  VmLevel level = VmLevel::kLevel1;
+
+  bool operator==(const SystemContext&) const noexcept = default;
+  std::string name() const;
+};
+
+/// Paper Table 2: the six example contexts.
+inline constexpr std::array<SystemContext, 6> kTable2Contexts = {{
+    {workload::MixType::kShopping, VmLevel::kLevel1},  // Context-1
+    {workload::MixType::kOrdering, VmLevel::kLevel1},  // Context-2
+    {workload::MixType::kOrdering, VmLevel::kLevel3},  // Context-3
+    {workload::MixType::kShopping, VmLevel::kLevel2},  // Context-4
+    {workload::MixType::kOrdering, VmLevel::kLevel2},  // Context-5
+    {workload::MixType::kBrowsing, VmLevel::kLevel1},  // Context-6
+}};
+
+/// Context by its paper number (1-based).
+SystemContext table2_context(int number);
+
+}  // namespace rac::env

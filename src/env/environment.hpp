@@ -1,0 +1,40 @@
+// The environment abstraction the RAC agent interacts with.
+//
+// The agent is non-intrusive: all it can do is push a configuration and
+// observe application-level performance (response time / throughput) over
+// a measurement interval -- exactly the interface of the paper's
+// performance monitor + configuration controller. Two implementations:
+//
+//   * AnalyticEnv -- a fast queueing-model twin (exact MVA over the same
+//     mechanism constants as the simulator); used for the long RL
+//     experiment sweeps.
+//   * SimEnv -- the discrete-event ThreeTierSystem; the ground-truth
+//     substrate.
+#pragma once
+
+#include "config/configuration.hpp"
+#include "env/context.hpp"
+
+namespace rac::env {
+
+/// One measurement interval's application-level observation.
+struct PerfSample {
+  double response_ms = 0.0;    // mean end-to-end response time
+  double throughput_rps = 0.0; // completed requests per second
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Apply `configuration` and measure one interval.
+  virtual PerfSample measure(const config::Configuration& configuration) = 0;
+
+  /// Reallocate workload mix and/or VM resources (the external dynamics the
+  /// agent must adapt to -- it is NOT told about this call).
+  virtual void set_context(const SystemContext& context) = 0;
+
+  virtual SystemContext context() const = 0;
+};
+
+}  // namespace rac::env

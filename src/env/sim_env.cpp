@@ -1,0 +1,47 @@
+#include "env/sim_env.hpp"
+
+namespace rac::env {
+
+SimEnv::SimEnv(const SystemContext& context, const SimEnvOptions& options)
+    : ctx_(context), opt_(options), next_seed_(options.seed) {}
+
+void SimEnv::rebuild(const config::Configuration& configuration) {
+  tiersim::SimSetup setup;
+  setup.configuration = configuration;
+  setup.mix = ctx_.mix;
+  setup.web_vm = web_vm_spec();
+  setup.app_vm = vm_spec(ctx_.level);
+  setup.num_clients = opt_.num_clients;
+  setup.seed = next_seed_++;
+  system_ = std::make_unique<tiersim::ThreeTierSystem>(opt_.system, setup);
+}
+
+PerfSample SimEnv::measure(const config::Configuration& configuration) {
+  if (system_ == nullptr) {
+    rebuild(configuration);
+  } else if (!(system_->configuration() == configuration)) {
+    system_->reconfigure(configuration);
+  }
+  last_ = system_->run(opt_.warmup_s, opt_.measure_s);
+  PerfSample sample;
+  sample.response_ms = last_.mean_response_ms;
+  sample.throughput_rps = last_.throughput_rps;
+  return sample;
+}
+
+void SimEnv::set_context(const SystemContext& context) {
+  if (context == ctx_) return;
+  const bool mix_changed = context.mix != ctx_.mix;
+  ctx_ = context;
+  if (system_ == nullptr) return;
+  if (mix_changed) {
+    // A traffic-mix change replaces the browser population: rebuild with
+    // the current configuration (server-side state does not survive the
+    // client switch in any meaningful way).
+    rebuild(system_->configuration());
+  } else {
+    system_->set_app_vm(vm_spec(ctx_.level));
+  }
+}
+
+}  // namespace rac::env

@@ -1,0 +1,49 @@
+// Environment backed by the discrete-event ThreeTierSystem.
+//
+// The system persists across measurement intervals: pools, sessions and
+// connections carry over, exactly like the live testbed the paper's agent
+// reconfigures in place. A context change reallocates the app VM and/or
+// swaps the traffic mix (the latter restarts the browser population, as a
+// traffic change at a load balancer would).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "env/environment.hpp"
+#include "tiersim/web_system.hpp"
+
+namespace rac::env {
+
+struct SimEnvOptions {
+  int num_clients = 400;
+  double warmup_s = 60.0;    // settle time after a reconfiguration
+  double measure_s = 240.0;  // observation window (paper: 5-minute interval)
+  tiersim::SystemParams system{};
+  std::uint64_t seed = 42;
+};
+
+class SimEnv : public Environment {
+ public:
+  explicit SimEnv(const SystemContext& context, const SimEnvOptions& options = {});
+
+  PerfSample measure(const config::Configuration& configuration) override;
+  void set_context(const SystemContext& context) override;
+  SystemContext context() const override { return ctx_; }
+
+  /// Full simulator measurement of the most recent interval.
+  const tiersim::Measurement& last_measurement() const noexcept {
+    return last_;
+  }
+
+ private:
+  SystemContext ctx_;
+  SimEnvOptions opt_;
+  std::uint64_t next_seed_;
+  std::unique_ptr<tiersim::ThreeTierSystem> system_;
+  tiersim::Measurement last_{};
+
+  void rebuild(const config::Configuration& configuration);
+};
+
+}  // namespace rac::env

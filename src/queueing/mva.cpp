@@ -1,0 +1,180 @@
+#include "queueing/mva.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rac::queueing {
+
+Station make_queueing_station(std::string name, double service_rate,
+                              double visit_ratio) {
+  if (service_rate <= 0.0) {
+    throw std::invalid_argument("make_queueing_station: rate must be > 0");
+  }
+  return Station{std::move(name), visit_ratio, {service_rate}};
+}
+
+Station make_multiserver_station(std::string name, int servers,
+                                 double per_server_rate, int max_population,
+                                 double visit_ratio) {
+  if (servers < 1 || per_server_rate <= 0.0 || max_population < 1) {
+    throw std::invalid_argument("make_multiserver_station: bad arguments");
+  }
+  std::vector<double> rates;
+  const int table = std::min(servers, max_population);
+  rates.reserve(static_cast<std::size_t>(table));
+  for (int j = 1; j <= table; ++j) rates.push_back(j * per_server_rate);
+  return Station{std::move(name), visit_ratio, std::move(rates)};
+}
+
+ClosedNetwork::ClosedNetwork(double think_time) : think_time_(think_time) {
+  if (think_time < 0.0) {
+    throw std::invalid_argument("ClosedNetwork: negative think time");
+  }
+}
+
+void ClosedNetwork::set_think_time(double think_time) {
+  if (think_time < 0.0) {
+    throw std::invalid_argument("ClosedNetwork: negative think time");
+  }
+  think_time_ = think_time;
+}
+
+std::size_t ClosedNetwork::add_station(Station station) {
+  if (station.rates.empty()) {
+    throw std::invalid_argument("ClosedNetwork: station has no rates");
+  }
+  for (double r : station.rates) {
+    if (r <= 0.0) {
+      throw std::invalid_argument("ClosedNetwork: non-positive service rate");
+    }
+  }
+  if (station.visit_ratio <= 0.0) {
+    throw std::invalid_argument("ClosedNetwork: non-positive visit ratio");
+  }
+  stations_.push_back(std::move(station));
+  return stations_.size() - 1;
+}
+
+MvaResult ClosedNetwork::solve(int population) const {
+  if (population < 0) {
+    throw std::invalid_argument("ClosedNetwork::solve: negative population");
+  }
+  if (stations_.empty() && think_time_ <= 0.0) {
+    throw std::invalid_argument(
+        "ClosedNetwork::solve: empty network with zero think time");
+  }
+
+  const std::size_t num_s = stations_.size();
+  MvaResult result;
+  result.population = population;
+  result.think_time = think_time_;
+  result.stations.resize(num_s);
+  for (std::size_t s = 0; s < num_s; ++s) {
+    result.stations[s].name = stations_[s].name;
+  }
+  if (population == 0) return result;
+
+  auto rate_at = [&](std::size_t s, int j) -> double {
+    const auto& rates = stations_[s].rates;
+    const auto idx =
+        std::min<std::size_t>(static_cast<std::size_t>(j) - 1, rates.size() - 1);
+    return rates[idx];
+  };
+
+  // marginal[s][j] = P(j jobs at station s | population n), updated per n.
+  std::vector<std::vector<double>> marginal(
+      num_s, std::vector<double>(static_cast<std::size_t>(population) + 1, 0.0));
+  for (auto& m : marginal) m[0] = 1.0;
+
+  std::vector<double> residence(num_s, 0.0);
+  double throughput = 0.0;
+  double response = 0.0;
+
+  for (int n = 1; n <= population; ++n) {
+    response = 0.0;
+    for (std::size_t s = 0; s < num_s; ++s) {
+      double r = 0.0;
+      for (int j = 1; j <= n; ++j) {
+        r += static_cast<double>(j) / rate_at(s, j) *
+             marginal[s][static_cast<std::size_t>(j - 1)];
+      }
+      residence[s] = stations_[s].visit_ratio * r;
+      response += residence[s];
+    }
+    throughput = static_cast<double>(n) / (think_time_ + response);
+
+    // Update marginal probabilities for population n (in place, from high j
+    // to low so that marginal[s][j-1] still refers to population n-1).
+    for (std::size_t s = 0; s < num_s; ++s) {
+      double tail = 0.0;
+      for (int j = n; j >= 1; --j) {
+        const double p = throughput * stations_[s].visit_ratio / rate_at(s, j) *
+                         marginal[s][static_cast<std::size_t>(j - 1)];
+        marginal[s][static_cast<std::size_t>(j)] = p;
+        tail += p;
+      }
+      marginal[s][0] = std::max(0.0, 1.0 - tail);
+    }
+  }
+
+  result.throughput = throughput;
+  result.response_time = response;
+  for (std::size_t s = 0; s < num_s; ++s) {
+    auto& sr = result.stations[s];
+    sr.residence_time = residence[s];
+    sr.queue_length = throughput * residence[s];
+    sr.utilization = 1.0 - marginal[s][0];
+  }
+  return result;
+}
+
+std::vector<double> ClosedNetwork::throughput_curve(int max_population) const {
+  if (max_population < 1) {
+    throw std::invalid_argument("throughput_curve: population must be >= 1");
+  }
+  if (stations_.empty()) {
+    throw std::invalid_argument("throughput_curve: no stations");
+  }
+  const std::size_t num_s = stations_.size();
+  auto rate_at = [&](std::size_t s, int j) -> double {
+    const auto& rates = stations_[s].rates;
+    const auto idx =
+        std::min<std::size_t>(static_cast<std::size_t>(j) - 1, rates.size() - 1);
+    return rates[idx];
+  };
+
+  std::vector<std::vector<double>> marginal(
+      num_s,
+      std::vector<double>(static_cast<std::size_t>(max_population) + 1, 0.0));
+  for (auto& m : marginal) m[0] = 1.0;
+
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(max_population));
+  for (int n = 1; n <= max_population; ++n) {
+    double response = 0.0;
+    for (std::size_t s = 0; s < num_s; ++s) {
+      double r = 0.0;
+      for (int j = 1; j <= n; ++j) {
+        r += static_cast<double>(j) / rate_at(s, j) *
+             marginal[s][static_cast<std::size_t>(j - 1)];
+      }
+      response += stations_[s].visit_ratio * r;
+    }
+    const double throughput = static_cast<double>(n) / (think_time_ + response);
+    curve.push_back(throughput);
+    for (std::size_t s = 0; s < num_s; ++s) {
+      double tail = 0.0;
+      for (int j = n; j >= 1; --j) {
+        const double p = throughput * stations_[s].visit_ratio / rate_at(s, j) *
+                         marginal[s][static_cast<std::size_t>(j - 1)];
+        marginal[s][static_cast<std::size_t>(j)] = p;
+        tail += p;
+      }
+      marginal[s][0] = std::max(0.0, 1.0 - tail);
+    }
+  }
+  return curve;
+}
+
+}  // namespace rac::queueing

@@ -1,0 +1,98 @@
+// Exact Mean Value Analysis (MVA) for single-class closed queueing
+// networks with load-dependent service stations and a delay (think-time)
+// center.
+//
+// This is the analytic substrate under the web-system model: each VM is a
+// load-dependent station whose service rate mu(j) encodes its core count,
+// its admission limit (jobs beyond the limit receive no service and queue),
+// and concurrency overheads (per-job demand inflation at high admitted
+// concurrency). The exact MVA recursion with marginal queue-length
+// probabilities (Reiser & Lavenberg) solves the network in O(N * S * N)
+// time for population N.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rac::queueing {
+
+/// A load-dependent queueing station. `rates[j-1]` is the aggregate service
+/// rate (jobs/second) when j jobs are present. Rates must be positive and
+/// the vector is implicitly extended with its last value for j beyond its
+/// length.
+struct Station {
+  std::string name;
+  double visit_ratio = 1.0;
+  std::vector<double> rates;
+};
+
+/// Convenience constructors -------------------------------------------------
+
+/// M/M/1-PS-like station: rate mu regardless of population.
+Station make_queueing_station(std::string name, double service_rate,
+                              double visit_ratio = 1.0);
+
+/// Multi-server station: c servers each of rate `per_server_rate`;
+/// mu(j) = min(j, c) * per_server_rate. `max_population` bounds the rate
+/// table length.
+Station make_multiserver_station(std::string name, int servers,
+                                 double per_server_rate, int max_population,
+                                 double visit_ratio = 1.0);
+
+struct StationResult {
+  std::string name;
+  double residence_time = 0.0;   // total time per system-level request
+  double queue_length = 0.0;     // mean jobs at station (queued + served)
+  double utilization = 0.0;      // P(station non-empty)
+};
+
+struct MvaResult {
+  int population = 0;
+  double throughput = 0.0;       // X(N), jobs/second
+  double response_time = 0.0;    // R(N), excludes think time
+  double think_time = 0.0;       // Z
+  std::vector<StationResult> stations;
+
+  /// Little's-law check value: X * (R + Z); equals N for an exact solve.
+  double little_check() const noexcept {
+    return throughput * (response_time + think_time);
+  }
+};
+
+/// A closed interactive network: N clients cycling through a think delay
+/// and a sequence of load-dependent stations.
+class ClosedNetwork {
+ public:
+  /// `think_time` is the delay-center service time, in seconds (>= 0).
+  explicit ClosedNetwork(double think_time = 0.0);
+
+  void set_think_time(double think_time);
+  double think_time() const noexcept { return think_time_; }
+
+  /// Add a station; returns its index.
+  std::size_t add_station(Station station);
+
+  std::size_t num_stations() const noexcept { return stations_.size(); }
+  const Station& station(std::size_t i) const { return stations_.at(i); }
+
+  /// Exact MVA solve for the given population (>= 0). Throws
+  /// std::invalid_argument for a negative population or an empty network
+  /// with zero think time.
+  MvaResult solve(int population) const;
+
+  /// Throughput X(n) for every population n = 1..max_population, from one
+  /// pass of the MVA recursion. `curve[n-1]` is X(n).
+  ///
+  /// This is the flow-equivalent service center (FESC) construction: a
+  /// subnetwork solved with think time 0 yields the rate table mu(j) =
+  /// X_sub(j) of a single load-dependent station that is exactly
+  /// equivalent to the subnetwork in any enclosing product-form model.
+  std::vector<double> throughput_curve(int max_population) const;
+
+ private:
+  double think_time_;
+  std::vector<Station> stations_;
+};
+
+}  // namespace rac::queueing

@@ -1,0 +1,38 @@
+#include "rl/experience.hpp"
+
+#include <stdexcept>
+
+namespace rac::rl {
+
+ExperienceStore::ExperienceStore(double blend) : blend_(blend) {
+  if (blend <= 0.0 || blend > 1.0) {
+    throw std::invalid_argument("ExperienceStore: blend outside (0, 1]");
+  }
+}
+
+void ExperienceStore::record(const config::Configuration& configuration,
+                             double response_ms) {
+  auto& obs = store_[configuration];
+  if (obs.count == 0) {
+    obs.response_ms = response_ms;
+  } else {
+    obs.response_ms += blend_ * (response_ms - obs.response_ms);
+  }
+  ++obs.count;
+}
+
+std::optional<double> ExperienceStore::response_ms(
+    const config::Configuration& configuration) const {
+  const auto it = store_.find(configuration);
+  if (it == store_.end()) return std::nullopt;
+  return it->second.response_ms;
+}
+
+std::vector<config::Configuration> ExperienceStore::configurations() const {
+  std::vector<config::Configuration> out;
+  out.reserve(store_.size());
+  for (const auto& [configuration, obs] : store_) out.push_back(configuration);
+  return out;
+}
+
+}  // namespace rac::rl

@@ -1,0 +1,47 @@
+// Store of measured performance per visited configuration.
+//
+// The online agent retrains its Q-table every interval from remembered
+// measurements: the current configuration's entry is refreshed with the new
+// observation while older entries are kept (paper Section 4.2). Entries
+// blend repeat observations with an EWMA so stale measurements fade.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "config/configuration.hpp"
+
+namespace rac::rl {
+
+struct Observation {
+  double response_ms = 0.0;  // blended response time
+  std::size_t count = 0;     // number of measurements folded in
+};
+
+class ExperienceStore {
+ public:
+  /// `blend` is the EWMA weight of a new measurement against the stored
+  /// value (1.0 = keep only the latest).
+  explicit ExperienceStore(double blend = 0.6);
+
+  void record(const config::Configuration& configuration, double response_ms);
+
+  std::optional<double> response_ms(
+      const config::Configuration& configuration) const;
+
+  std::size_t size() const noexcept { return store_.size(); }
+  bool empty() const noexcept { return store_.empty(); }
+  void clear() { store_.clear(); }
+
+  std::vector<config::Configuration> configurations() const;
+
+ private:
+  double blend_;
+  std::unordered_map<config::Configuration, Observation,
+                     config::ConfigurationHash>
+      store_;
+};
+
+}  // namespace rac::rl

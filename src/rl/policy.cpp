@@ -1,0 +1,33 @@
+#include "rl/policy.hpp"
+
+#include <stdexcept>
+
+namespace rac::rl {
+
+EpsilonGreedy::EpsilonGreedy(double epsilon) : epsilon_(epsilon) {
+  set_epsilon(epsilon);
+}
+
+void EpsilonGreedy::set_epsilon(double epsilon) {
+  if (epsilon < 0.0 || epsilon > 1.0) {
+    throw std::invalid_argument("EpsilonGreedy: epsilon outside [0, 1]");
+  }
+  epsilon_ = epsilon;
+}
+
+config::Action EpsilonGreedy::select(const QTable& table,
+                                     const config::Configuration& s,
+                                     util::Rng& rng) const {
+  if (rng.bernoulli(epsilon_)) {
+    return config::Action(
+        rng.uniform_int(0, static_cast<int>(config::kNumActions) - 1));
+  }
+  return table.best_action(s);
+}
+
+config::Action greedy_action(const QTable& table,
+                             const config::Configuration& s) {
+  return table.best_action(s);
+}
+
+}  // namespace rac::rl

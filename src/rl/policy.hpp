@@ -1,0 +1,31 @@
+// Action-selection policies over a Q-table.
+#pragma once
+
+#include "config/configuration.hpp"
+#include "config/space.hpp"
+#include "rl/qtable.hpp"
+#include "util/rng.hpp"
+
+namespace rac::rl {
+
+/// epsilon-greedy: with probability epsilon pick a uniformly random action,
+/// otherwise the greedy one.
+class EpsilonGreedy {
+ public:
+  explicit EpsilonGreedy(double epsilon);
+
+  double epsilon() const noexcept { return epsilon_; }
+  void set_epsilon(double epsilon);
+
+  config::Action select(const QTable& table, const config::Configuration& s,
+                        util::Rng& rng) const;
+
+ private:
+  double epsilon_;
+};
+
+/// Always greedy (epsilon == 0).
+config::Action greedy_action(const QTable& table,
+                             const config::Configuration& s);
+
+}  // namespace rac::rl

@@ -1,0 +1,65 @@
+#include "rl/qtable.hpp"
+
+#include <algorithm>
+
+namespace rac::rl {
+
+QTable::ActionValues& QTable::row(const config::Configuration& s) {
+  auto it = table_.find(s);
+  if (it == table_.end()) {
+    ActionValues values;
+    values.fill(default_q_);
+    it = table_.emplace(s, values).first;
+  }
+  return it->second;
+}
+
+double QTable::q(const config::Configuration& s, config::Action a) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return default_q_;
+  return it->second[static_cast<std::size_t>(a.id())];
+}
+
+void QTable::set_q(const config::Configuration& s, config::Action a,
+                   double value) {
+  row(s)[static_cast<std::size_t>(a.id())] = value;
+}
+
+void QTable::add_q(const config::Configuration& s, config::Action a,
+                   double delta) {
+  row(s)[static_cast<std::size_t>(a.id())] += delta;
+}
+
+double QTable::max_q(const config::Configuration& s) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return default_q_;
+  return *std::max_element(it->second.begin(), it->second.end());
+}
+
+config::Action QTable::best_action(const config::Configuration& s) const {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return config::Action::keep();
+  const auto& values = it->second;
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < values.size(); ++a) {
+    if (values[a] > values[best]) best = a;
+  }
+  return config::Action(static_cast<int>(best));
+}
+
+bool QTable::contains(const config::Configuration& s) const {
+  return table_.find(s) != table_.end();
+}
+
+std::vector<config::Configuration> QTable::states() const {
+  std::vector<config::Configuration> out;
+  out.reserve(table_.size());
+  for (const auto& [state, values] : table_) out.push_back(state);
+  return out;
+}
+
+void QTable::absorb(const QTable& other) {
+  for (const auto& [state, values] : other.table_) table_[state] = values;
+}
+
+}  // namespace rac::rl

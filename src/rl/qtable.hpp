@@ -1,0 +1,64 @@
+// Sparse tabular Q-value store over (configuration, action) pairs.
+//
+// The fine-grained joint configuration space is ~10^8 states; an agent
+// trajectory touches a vanishing fraction of it, so the table is a hash
+// map keyed by configuration. Unvisited states read as a caller-chosen
+// default (0 by default; the policy initializer seeds them from the
+// regression-predicted surface instead).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "config/space.hpp"
+
+namespace rac::rl {
+
+class QTable {
+ public:
+  using ActionValues = std::array<double, config::kNumActions>;
+
+  QTable() = default;
+
+  /// Q(s, a); returns `default_q` for never-written states.
+  double q(const config::Configuration& s, config::Action a) const;
+
+  void set_q(const config::Configuration& s, config::Action a, double value);
+
+  /// Q(s, a) += delta (creates the row if absent).
+  void add_q(const config::Configuration& s, config::Action a, double delta);
+
+  /// max_a Q(s, a).
+  double max_q(const config::Configuration& s) const;
+
+  /// argmax_a Q(s, a); ties break toward the lowest action id
+  /// (deterministically), which prefers "keep".
+  config::Action best_action(const config::Configuration& s) const;
+
+  bool contains(const config::Configuration& s) const;
+  std::size_t size() const noexcept { return table_.size(); }
+  bool empty() const noexcept { return table_.empty(); }
+  void clear() { table_.clear(); }
+
+  double default_q() const noexcept { return default_q_; }
+  void set_default_q(double value) noexcept { default_q_ = value; }
+
+  /// All states with at least one written action value.
+  std::vector<config::Configuration> states() const;
+
+  /// Copy every row of `other` into this table (overwrites collisions).
+  void absorb(const QTable& other);
+
+ private:
+  std::unordered_map<config::Configuration, ActionValues,
+                     config::ConfigurationHash>
+      table_;
+  double default_q_ = 0.0;
+
+  ActionValues& row(const config::Configuration& s);
+};
+
+}  // namespace rac::rl

@@ -1,0 +1,103 @@
+#include "rl/serialization.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rac::rl {
+
+namespace {
+constexpr const char* kMagic = "rac-qtable";
+constexpr int kVersion = 1;
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);  // hex float: exact round trip
+  return buf;
+}
+
+double parse_double(const std::string& token) {
+  std::size_t pos = 0;
+  const double v = std::stod(token, &pos);
+  if (pos != token.size()) {
+    throw std::runtime_error("load_qtable: bad numeric token '" + token + "'");
+  }
+  return v;
+}
+}  // namespace
+
+void save_qtable(std::ostream& os, const QTable& table) {
+  os << kMagic << " v" << kVersion << "\n";
+  os << "default_q " << format_double(table.default_q()) << "\n";
+  const auto states = table.states();
+  os << "states " << states.size() << "\n";
+  for (const auto& state : states) {
+    for (int v : state.values()) os << v << ' ';
+    for (std::size_t a = 0; a < config::kNumActions; ++a) {
+      os << format_double(table.q(state, config::Action(static_cast<int>(a))))
+         << (a + 1 == config::kNumActions ? "" : " ");
+    }
+    os << "\n";
+  }
+  if (!os) throw std::ios_base::failure("save_qtable: write failed");
+}
+
+QTable load_qtable(std::istream& is) {
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("load_qtable: not a rac-qtable stream");
+  }
+  if (version != "v1") {
+    throw std::runtime_error("load_qtable: unsupported version " + version);
+  }
+  std::string key;
+  std::string token;
+  if (!(is >> key >> token) || key != "default_q") {
+    throw std::runtime_error("load_qtable: missing default_q");
+  }
+  QTable table;
+  table.set_default_q(parse_double(token));
+
+  std::size_t count = 0;
+  if (!(is >> key >> count) || key != "states") {
+    throw std::runtime_error("load_qtable: missing state count");
+  }
+  for (std::size_t row = 0; row < count; ++row) {
+    std::array<int, config::kNumParams> values{};
+    for (auto& v : values) {
+      if (!(is >> v)) {
+        throw std::runtime_error("load_qtable: truncated state row");
+      }
+    }
+    const config::Configuration state(values);
+    if (state.values() != values) {
+      throw std::runtime_error("load_qtable: state outside parameter ranges");
+    }
+    for (std::size_t a = 0; a < config::kNumActions; ++a) {
+      if (!(is >> token)) {
+        throw std::runtime_error("load_qtable: truncated Q row");
+      }
+      table.set_q(state, config::Action(static_cast<int>(a)),
+                  parse_double(token));
+    }
+  }
+  return table;
+}
+
+void save_qtable_file(const std::string& path, const QTable& table) {
+  std::ofstream os(path);
+  if (!os) throw std::ios_base::failure("save_qtable_file: cannot open " + path);
+  save_qtable(os, table);
+}
+
+QTable load_qtable_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::ios_base::failure("load_qtable_file: cannot open " + path);
+  return load_qtable(is);
+}
+
+}  // namespace rac::rl

@@ -1,0 +1,30 @@
+// Persistence for learned policies.
+//
+// Offline policy initialization is the expensive step of RAC (the paper
+// reports >10 hours of data collection per context on the real testbed);
+// a deployment trains once per anticipated context and ships the result.
+// The format is a line-oriented text format: versioned header, one row per
+// state with the 8 parameter values followed by the 17 action values.
+// Text keeps the files diffable and platform-independent; round-trip
+// precision uses hex floats.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rl/qtable.hpp"
+
+namespace rac::rl {
+
+/// Serialize a Q-table. Throws std::ios_base::failure on stream errors.
+void save_qtable(std::ostream& os, const QTable& table);
+
+/// Parse a Q-table produced by save_qtable. Throws std::runtime_error on
+/// malformed input (bad magic, version, or row shape).
+QTable load_qtable(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_qtable_file(const std::string& path, const QTable& table);
+QTable load_qtable_file(const std::string& path);
+
+}  // namespace rac::rl

@@ -1,0 +1,77 @@
+#include "rl/td_learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "rl/policy.hpp"
+
+namespace rac::rl {
+
+TdResult batch_train(QTable& table,
+                     std::span<const config::Configuration> start_states,
+                     const RewardFn& reward, const TdParams& params,
+                     util::Rng& rng) {
+  if (!reward) throw std::invalid_argument("batch_train: empty reward fn");
+  if (params.alpha <= 0.0 || params.alpha > 1.0) {
+    throw std::invalid_argument("batch_train: alpha outside (0, 1]");
+  }
+  if (params.gamma < 0.0 || params.gamma >= 1.0) {
+    throw std::invalid_argument("batch_train: gamma outside [0, 1)");
+  }
+  if (params.trajectory_limit < 1 || params.max_sweeps < 1) {
+    throw std::invalid_argument("batch_train: non-positive budget");
+  }
+
+  const EpsilonGreedy policy(params.epsilon);
+  TdResult result;
+  if (start_states.empty()) {
+    result.converged = true;
+    return result;
+  }
+
+  // The reward model is a pure function of the state for the duration of
+  // one batch; memoize it (full backups revisit states heavily).
+  std::unordered_map<config::Configuration, double, config::ConfigurationHash>
+      reward_cache;
+  const auto cached_reward = [&](const config::Configuration& c) {
+    const auto it = reward_cache.find(c);
+    if (it != reward_cache.end()) return it->second;
+    const double r = reward(c);
+    reward_cache.emplace(c, r);
+    return r;
+  };
+
+  const auto actions = config::ConfigSpace::all_actions();
+  for (int sweep = 0; sweep < params.max_sweeps; ++sweep) {
+    double error = 0.0;
+    for (const auto& start : start_states) {
+      config::Configuration s = start;
+      for (int step = 0; step < params.trajectory_limit; ++step) {
+        // Full backup of every action at the visited state.
+        for (const config::Action a : actions) {
+          const config::Configuration next = config::ConfigSpace::apply(s, a);
+          const double r = cached_reward(next);
+          const double td =
+              r + params.gamma * table.max_q(next) - table.q(s, a);
+          const double delta = params.alpha * td;
+          table.add_q(s, a, delta);
+          error = std::max(error, std::abs(delta));
+        }
+        // Walk on epsilon-greedily; the walk chooses which states the next
+        // backups touch.
+        s = config::ConfigSpace::apply(s, policy.select(table, s, rng));
+      }
+    }
+    result.sweeps = sweep + 1;
+    result.final_error = error;
+    if (error < params.theta) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rac::rl

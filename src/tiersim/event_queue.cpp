@@ -1,0 +1,74 @@
+#include "tiersim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace rac::tiersim {
+
+EventHandle EventQueue::schedule_at(double at, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("EventQueue::schedule_at: empty callback");
+  }
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++pending_count_;
+  return EventHandle{id};
+}
+
+EventHandle EventQueue::schedule_in(double delay, EventFn fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  const auto it = callbacks_.find(handle.id_);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --pending_count_;
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled tombstone
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    --pending_count_;
+    assert(top.time >= now_);
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run_until(double until) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek past tombstones for the next live event time.
+    const Entry top = heap_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > until) break;
+    step();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace rac::tiersim

@@ -1,0 +1,81 @@
+// Discrete-event simulation core: a virtual clock and a cancellable
+// future-event list.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a simulation is
+// a pure function of its inputs and RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace rac::tiersim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancellation. Default-constructed handles are invalid.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  double now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `at` (>= now).
+  EventHandle schedule_at(double at, EventFn fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventHandle schedule_in(double delay, EventFn fn);
+
+  /// Cancel a scheduled event. Idempotent; cancelling an already-fired or
+  /// invalid handle is a no-op. Returns true if the event was pending.
+  bool cancel(EventHandle handle);
+
+  bool empty() const noexcept { return pending_count_ == 0; }
+  std::size_t pending() const noexcept { return pending_count_; }
+
+  /// Run all events with time <= `until`, then advance the clock to
+  /// exactly `until`. Returns the number of events executed.
+  std::uint64_t run_until(double until);
+
+  /// Execute the single next event, if any. Returns false when empty.
+  bool step();
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t pending_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // id -> callback; erased on fire/cancel. Tombstones in the heap are
+  // skipped when their id is no longer present.
+  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+};
+
+}  // namespace rac::tiersim

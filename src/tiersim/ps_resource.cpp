@@ -1,0 +1,105 @@
+#include "tiersim/ps_resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace rac::tiersim {
+
+namespace {
+// Completions within this many virtual seconds of each other are batched to
+// avoid scheduling storms from floating-point near-ties.
+constexpr double kTimeEps = 1e-12;
+}  // namespace
+
+PsResource::PsResource(EventQueue& queue, int cores, SlowdownFn slowdown)
+    : queue_(queue), cores_(cores), slowdown_(std::move(slowdown)) {
+  if (cores < 1) throw std::invalid_argument("PsResource: cores must be >= 1");
+  last_update_ = queue_.now();
+}
+
+double PsResource::per_job_rate() const noexcept {
+  const int n = static_cast<int>(jobs_.size());
+  if (n == 0) return 0.0;
+  double rate = std::min(1.0, static_cast<double>(cores_) / n);
+  if (slowdown_) {
+    const double s = slowdown_(n);
+    assert(s >= 1.0);
+    rate /= s;
+  }
+  return rate;
+}
+
+void PsResource::advance() {
+  const double now = queue_.now();
+  const double elapsed = now - last_update_;
+  if (elapsed > 0.0 && !jobs_.empty()) {
+    const double progress = elapsed * current_rate_;
+    for (auto& [id, job] : jobs_) {
+      job.remaining = std::max(0.0, job.remaining - progress);
+    }
+    work_done_ += progress * static_cast<double>(jobs_.size());
+    job_seconds_ += elapsed * static_cast<double>(jobs_.size());
+  }
+  last_update_ = now;
+}
+
+void PsResource::reschedule() {
+  queue_.cancel(completion_event_);
+  completion_event_ = EventHandle{};
+  current_rate_ = per_job_rate();
+  if (jobs_.empty() || current_rate_ <= 0.0) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double delay = min_remaining / current_rate_;
+  completion_event_ = queue_.schedule_in(delay, [this] { on_completion_timer(); });
+}
+
+void PsResource::on_completion_timer() {
+  completion_event_ = EventHandle{};
+  advance();
+  // Collect everything that is (numerically) done.
+  std::vector<EventFn> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= kTimeEps) {
+      done.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  // Fire completions after internal state is consistent; a completion
+  // handler may immediately submit new work to this resource.
+  for (auto& fn : done) fn();
+}
+
+JobId PsResource::submit(double demand, EventFn on_complete) {
+  if (demand < 0.0) throw std::invalid_argument("PsResource: negative demand");
+  if (!on_complete) throw std::invalid_argument("PsResource: empty callback");
+  advance();
+  const JobId id = next_id_++;
+  // Zero-demand jobs still take one trip through the event loop so that
+  // callers observe uniform asynchronous behaviour.
+  jobs_.emplace(id, Job{std::max(demand, kTimeEps), std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+void PsResource::set_cores(int cores) {
+  if (cores < 1) throw std::invalid_argument("PsResource: cores must be >= 1");
+  advance();
+  cores_ = cores;
+  reschedule();
+}
+
+double PsResource::busy_job_seconds() const noexcept {
+  // Include the in-progress span since the last update.
+  return job_seconds_ + (queue_.now() - last_update_) *
+                            static_cast<double>(jobs_.size());
+}
+
+}  // namespace rac::tiersim

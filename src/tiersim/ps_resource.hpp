@@ -1,0 +1,77 @@
+// A multi-core processor-sharing resource for the DES.
+//
+// Models one VM's CPU: `cores` processors shared by the active jobs.
+// With n active jobs each job progresses at rate min(1, cores/n), further
+// divided by a caller-supplied slowdown factor that models concurrency
+// overhead (context switching, lock contention, memory pressure). The
+// slowdown is re-evaluated whenever the active set changes.
+//
+// Implementation: virtual-work bookkeeping. On every state change the
+// remaining work of all active jobs is advanced by elapsed * rate, then the
+// next completion event is (re)scheduled. O(n) per state change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "tiersim/event_queue.hpp"
+
+namespace rac::tiersim {
+
+using JobId = std::uint64_t;
+
+/// Extra service slowdown as a function of the number of active jobs.
+/// Must return >= 1.0. Evaluated at every state change.
+using SlowdownFn = std::function<double(int active_jobs)>;
+
+class PsResource {
+ public:
+  /// `cores` > 0. A null `slowdown` means no overhead (always 1.0).
+  PsResource(EventQueue& queue, int cores, SlowdownFn slowdown = nullptr);
+
+  PsResource(const PsResource&) = delete;
+  PsResource& operator=(const PsResource&) = delete;
+
+  /// Submit a job with `demand` seconds of pure CPU work; `on_complete`
+  /// fires from the event loop when the job finishes.
+  JobId submit(double demand, EventFn on_complete);
+
+  /// Change the core count at run time (VM reallocation). Active jobs keep
+  /// their remaining work and continue at the new rate.
+  void set_cores(int cores);
+
+  int cores() const noexcept { return cores_; }
+  int active_jobs() const noexcept { return static_cast<int>(jobs_.size()); }
+
+  /// Total CPU-seconds of work completed (for utilization accounting).
+  double work_done() const noexcept { return work_done_; }
+
+  /// Time-integral of the active job count (for mean-concurrency stats).
+  double busy_job_seconds() const noexcept;
+
+ private:
+  struct Job {
+    double remaining;  // seconds of work left at unit rate
+    EventFn on_complete;
+  };
+
+  EventQueue& queue_;
+  int cores_;
+  SlowdownFn slowdown_;
+  std::unordered_map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  double last_update_ = 0.0;
+  double current_rate_ = 0.0;  // per-job progress rate
+  EventHandle completion_event_;
+  double work_done_ = 0.0;
+  mutable double job_seconds_ = 0.0;
+
+  double per_job_rate() const noexcept;
+  void advance();
+  void reschedule();
+  void on_completion_timer();
+};
+
+}  // namespace rac::tiersim

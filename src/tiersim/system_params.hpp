@@ -1,0 +1,68 @@
+// Shared physical constants of the simulated three-tier deployment.
+//
+// Both the discrete-event simulator (tiersim::ThreeTierSystem) and the
+// analytic environment model (env::AnalyticEnv) derive their behaviour from
+// this one parameter set, so the two fidelities stay mutually consistent.
+// Values are calibrated so the simulated testbed reproduces the qualitative
+// phenomena the paper's evaluation rests on (see DESIGN.md section 2).
+#pragma once
+
+namespace rac::tiersim {
+
+/// Resources of one virtual machine.
+struct VmSpec {
+  int vcpus = 4;
+  double mem_mb = 4096.0;
+};
+
+struct SystemParams {
+  // --- service demands ----------------------------------------------------
+  /// Per-tier multipliers applied to the TPC-W interaction demand tables
+  /// (the tables are normalized to a fast reference CPU; the simulated
+  /// testbed's 2006-era Xeons and interpreted JSP/SQL stacks are slower).
+  double demand_scale_web = 3.0;
+  double demand_scale_app = 3.5;
+  double demand_scale_db = 2.8;
+
+  // --- memory footprint (MB) -------------------------------------------
+  double os_base_mem_mb = 400.0;      // guest OS + services, per VM
+  double web_worker_mem_mb = 3.0;     // one Apache prefork worker
+  double app_thread_mem_mb = 2.2;     // one Tomcat request thread
+  double session_mem_mb = 0.4;        // one live HTTP session
+  double db_min_buffer_mb = 64.0;     // MySQL buffer pool floor
+
+  // --- database behaviour ----------------------------------------------
+  /// Hot working set (MB) at reference db intensity; the mix's scaled db
+  /// demand relative to `db_ws_reference_ms` scales this (heavier query
+  /// mixes touch more data).
+  double db_working_set_mb = 1800.0;
+  double db_ws_reference_ms = 50.0;
+  /// Demand multiplier slope once the working set exceeds the buffer pool:
+  /// demand *= 1 + miss_coeff * (ws/buffer - 1).
+  double db_miss_coeff = 0.6;
+  /// Extra demand per *additional* concurrent writer (lock contention).
+  double write_lock_coeff = 0.10;
+
+  // --- CPU concurrency overhead ----------------------------------------
+  /// Slowdown per active job on the web VM (context switching).
+  double web_concurrency_ovh = 0.0012;
+  /// Slowdown per active job on the app+db VM.
+  double app_concurrency_ovh = 0.0008;
+  /// Quadratic swap slowdown: factor = 1 + coeff * overcommit_fraction^2.
+  double swap_slowdown_coeff = 60.0;
+
+  // --- connection & lifecycle costs (milliseconds) ----------------------
+  double conn_setup_ms = 7.0;        // TCP accept + handshake on web VM
+  double session_rebuild_ms = 40.0;  // db work to recreate an expired session
+  double fork_cost_ms = 4.0;         // web CPU burned per forked worker
+  double fork_latency_s = 0.25;      // time before a forked worker serves
+  double thread_spawn_cost_ms = 2.0; // app CPU per new Tomcat thread
+
+  // --- pool management ---------------------------------------------------
+  double maintenance_interval_s = 1.0;  // spare-pool evaluation period
+  int max_forks_per_interval = 32;      // Apache-style fork ramp cap
+  int initial_workers = 32;             // web workers at simulator start
+  int initial_threads = 24;             // app threads at simulator start
+};
+
+}  // namespace rac::tiersim

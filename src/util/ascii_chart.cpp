@@ -1,0 +1,128 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace rac::util {
+
+AsciiChart::AsciiChart(int width, int height) : width_(width), height_(height) {
+  if (width < 16 || height < 4) {
+    throw std::invalid_argument("AsciiChart: plot area too small");
+  }
+}
+
+void AsciiChart::add_series(Series series) {
+  if (series.xs.size() != series.ys.size() || series.xs.empty()) {
+    throw std::invalid_argument("AsciiChart: bad series shape");
+  }
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::str() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  if (series_.empty()) {
+    os << "(no data)\n";
+    return os.str();
+  }
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series_) {
+    for (double x : s.xs) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+    for (double y : s.ys) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // Pad the y range slightly so extreme points are visible.
+  const double y_pad = 0.02 * (y_max - y_min);
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  auto plot = [&](double x, double y, char sym) {
+    const int col = static_cast<int>(std::lround((x - x_min) / (x_max - x_min) *
+                                                 (width_ - 1)));
+    const int row = static_cast<int>(std::lround((y - y_min) / (y_max - y_min) *
+                                                 (height_ - 1)));
+    const int r = height_ - 1 - row;  // invert: top row is y_max
+    if (r >= 0 && r < height_ && col >= 0 && col < width_) {
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] = sym;
+    }
+  };
+
+  for (const auto& s : series_) {
+    // Connect consecutive points with linear interpolation for readability.
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const int steps = width_;
+      for (int t = 0; t <= steps; ++t) {
+        const double f = static_cast<double>(t) / steps;
+        plot(s.xs[i] + f * (s.xs[i + 1] - s.xs[i]),
+             s.ys[i] + f * (s.ys[i + 1] - s.ys[i]), s.symbol);
+      }
+    }
+    if (s.xs.size() == 1) plot(s.xs[0], s.ys[0], s.symbol);
+  }
+
+  const int label_width = 10;
+  for (int r = 0; r < height_; ++r) {
+    std::ostringstream lab;
+    if (r == 0 || r == height_ - 1 || r == height_ / 2) {
+      const double y =
+          y_max - (y_max - y_min) * static_cast<double>(r) / (height_ - 1);
+      lab.setf(std::ios::fixed);
+      lab.precision(1);
+      lab << y;
+    }
+    std::string label = lab.str();
+    if (static_cast<int>(label.size()) < label_width) {
+      label = std::string(label_width - label.size(), ' ') + label;
+    }
+    os << label << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(label_width + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+
+  {
+    std::ostringstream xrow;
+    xrow.setf(std::ios::fixed);
+    xrow.precision(1);
+    xrow << x_min;
+    std::string left = xrow.str();
+    std::ostringstream xro2;
+    xro2.setf(std::ios::fixed);
+    xro2.precision(1);
+    xro2 << x_max;
+    std::string right = xro2.str();
+    std::string row(static_cast<std::size_t>(label_width + 2 + width_), ' ');
+    std::copy(left.begin(), left.end(), row.begin() + label_width + 2);
+    if (right.size() <= static_cast<std::size_t>(width_)) {
+      std::copy(right.begin(), right.end(), row.end() - right.size());
+    }
+    os << row << "\n";
+  }
+
+  if (!x_label_.empty() || !y_label_.empty()) {
+    os << std::string(label_width + 2, ' ') << x_label_;
+    if (!y_label_.empty()) os << "   (y: " << y_label_ << ")";
+    os << "\n";
+  }
+  os << "legend:";
+  for (const auto& s : series_) os << "  '" << s.symbol << "' = " << s.name;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rac::util

@@ -1,0 +1,43 @@
+// Terminal line charts for the figure-reproduction harnesses.
+//
+// Each bench binary renders the paper figure it reproduces as a multi-series
+// ASCII chart so the shape (who wins, where the minima fall, where the
+// spikes are) is visible directly in the captured output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rac::util {
+
+struct Series {
+  std::string name;
+  char symbol = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+class AsciiChart {
+ public:
+  AsciiChart(int width = 78, int height = 20);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// Add a series; x and y must have equal, non-zero length.
+  void add_series(Series series);
+
+  /// Render the chart (plot area, axes, tick labels, legend).
+  std::string str() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace rac::util

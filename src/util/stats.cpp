@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rac::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+double RunningStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+Ewma::Ewma(double alpha) noexcept : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::add(double x) noexcept {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+}
+
+void Ewma::reset() noexcept {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+void SlidingWindow::add(double x) {
+  data_.push_back(x);
+  if (data_.size() > capacity_) data_.pop_front();
+}
+
+double SlidingWindow::mean() const noexcept {
+  if (data_.empty()) return 0.0;
+  return std::accumulate(data_.begin(), data_.end(), 0.0) /
+         static_cast<double>(data_.size());
+}
+
+double SlidingWindow::min() const noexcept {
+  if (data_.empty()) return 0.0;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double SlidingWindow::max() const noexcept {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double percentile(std::span<const double> samples, double p) {
+  assert(!samples.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean_of(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted) {
+  assert(observed.size() == predicted.size());
+  assert(!observed.empty());
+  const double obs_mean = mean_of(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double res = observed[i] - predicted[i];
+    const double dev = observed[i] - obs_mean;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace rac::util

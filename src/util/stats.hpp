@@ -1,0 +1,90 @@
+// Streaming and windowed statistics used by the performance monitor, the
+// violation detector, and the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace rac::util {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha) noexcept;
+
+  void add(double x) noexcept;
+  bool empty() const noexcept { return !initialized_; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-capacity sliding window over the most recent samples.
+/// This backs the paper's violation detector, which compares the current
+/// response time against the mean of the last n measurements.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  void reset() noexcept { data_.clear(); }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return data_.size() == capacity_; }
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Most recent sample; window must be non-empty.
+  double back() const noexcept { return data_.back(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> data_;
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics). `p` in [0, 100]. The input span is copied and sorted.
+double percentile(std::span<const double> samples, double p);
+
+/// Arithmetic mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> samples) noexcept;
+
+/// Coefficient of determination of predictions vs observations.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+}  // namespace rac::util

@@ -1,0 +1,45 @@
+// Aligned text tables and CSV output for the benchmark harnesses.
+//
+// Every figure/table reproduction binary prints its series both as an
+// aligned human-readable table and as machine-readable CSV, so results can
+// be re-plotted without re-running.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rac::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a pre-formatted row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(std::initializer_list<double> values, int precision = 2);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  /// Render as an aligned table with a header separator.
+  std::string str() const;
+
+  /// Render as CSV (RFC-4180-style quoting for cells containing
+  /// commas/quotes/newlines).
+  std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for building rows).
+std::string fmt(double value, int precision = 2);
+
+}  // namespace rac::util

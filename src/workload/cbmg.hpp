@@ -1,0 +1,34 @@
+// Customer Behavior Model Graph (CBMG) for TPC-W navigation.
+//
+// TPC-W emulated browsers do not draw pages independently: a Search
+// Request is followed by Search Results, a Buy Request by a Buy Confirm,
+// and so on. The CBMG is the Markov chain over the 14 interactions. We
+// construct each mix's transition matrix as a blend of the mix's
+// steady-state frequencies (rank-one component: "where browsers spend
+// time") and a structural affinity matrix ("which page follows which"),
+// so the chain's stationary distribution stays close to the TPC-W
+// specification's interaction percentages while successive requests show
+// realistic navigation patterns. `stationary_distribution` (power
+// iteration) recovers the chain's actual long-run frequencies for
+// validation.
+#pragma once
+
+#include <array>
+
+#include "workload/tpcw.hpp"
+
+namespace rac::workload {
+
+/// Row-stochastic: kTransition[i][j] = P(next = j | current = i).
+using TransitionMatrix =
+    std::array<std::array<double, kNumInteractions>, kNumInteractions>;
+
+/// The mix's CBMG transition matrix.
+const TransitionMatrix& cbmg_matrix(MixType mix);
+
+/// Stationary distribution of a row-stochastic matrix (power iteration;
+/// the CBMG chains are irreducible and aperiodic by construction).
+std::array<double, kNumInteractions> stationary_distribution(
+    const TransitionMatrix& matrix, int iterations = 200);
+
+}  // namespace rac::workload

@@ -1,0 +1,62 @@
+#include "workload/session.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "workload/cbmg.hpp"
+
+namespace rac::workload {
+
+SessionGenerator::SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg)
+    : mix_(mix), rng_(rng), profile_(browser_profile(mix)), use_cbmg_(use_cbmg) {}
+
+int SessionGenerator::draw_session_length() {
+  // Geometric with the profile's mean, at least 1 interaction.
+  const double mean = profile_.session_length_mean;
+  assert(mean >= 1.0);
+  const double p = 1.0 / mean;
+  int length = 1;
+  while (!rng_.bernoulli(p)) ++length;
+  return length;
+}
+
+Interaction SessionGenerator::draw_interaction() {
+  if (!use_cbmg_ || !in_session_) {
+    // Session entry (or independent mode): the steady-state distribution.
+    const auto freq = mix_frequencies(mix_);
+    return static_cast<Interaction>(rng_.categorical(freq));
+  }
+  const auto& row =
+      cbmg_matrix(mix_)[static_cast<std::size_t>(last_)];
+  return static_cast<Interaction>(rng_.categorical(row));
+}
+
+BrowserStep SessionGenerator::next() {
+  BrowserStep step{};
+  if (remaining_in_session_ == 0) {
+    remaining_in_session_ = draw_session_length();
+    step.new_session = true;
+    step.think_time_s =
+        sessions_ == 0
+            // Stagger initial arrivals over one think time to avoid a
+            // synchronized thundering herd at simulation start.
+            ? rng_.uniform(0.0, profile_.think_time_mean_s)
+            : rng_.exponential(profile_.inter_session_gap_s);
+    ++sessions_;
+  } else {
+    step.new_session = false;
+    step.think_time_s = rng_.exponential(profile_.think_time_mean_s);
+    if (rng_.bernoulli(profile_.pause_prob)) {
+      step.think_time_s += rng_.exponential(profile_.pause_mean_s);
+    }
+  }
+  if (step.new_session) in_session_ = false;
+  step.interaction = draw_interaction();
+  last_ = step.interaction;
+  in_session_ = true;
+  --remaining_in_session_;
+  ++steps_;
+  return step;
+}
+
+}  // namespace rac::workload

@@ -1,0 +1,64 @@
+// Emulated-browser session generation.
+//
+// Each TPC-W emulated browser alternates: pick an interaction from the mix
+// distribution, wait an exponential think time, repeat; after a geometric
+// number of interactions the session ends and the browser idles for the
+// inter-session gap before starting a fresh session (new session state,
+// new TCP connection). The discrete-event simulator consumes this stream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "workload/tpcw.hpp"
+
+namespace rac::workload {
+
+struct BrowserStep {
+  Interaction interaction;
+  /// Seconds the browser thinks *before* issuing this interaction.
+  double think_time_s;
+  /// True if this step begins a new session (previous session ended; the
+  /// think time above is the inter-session gap).
+  bool new_session;
+};
+
+/// Stateful per-browser generator; deterministic given its RNG stream.
+///
+/// Navigation follows the mix's CBMG Markov chain (workload/cbmg.hpp):
+/// each session starts from the mix's steady-state page distribution and
+/// walks the transition matrix, so forced pairs (Search Request -> Search
+/// Results, Buy Request -> Buy Confirm, ...) appear in order. Pass
+/// `use_cbmg = false` for independent draws from the mix frequencies
+/// (useful for isolating navigation effects in experiments).
+class SessionGenerator {
+ public:
+  SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg = true);
+
+  MixType mix() const noexcept { return mix_; }
+
+  /// Generate the browser's next step.
+  BrowserStep next();
+
+  /// Number of interactions generated so far.
+  std::uint64_t steps_generated() const noexcept { return steps_; }
+
+  /// Number of sessions started so far.
+  std::uint64_t sessions_started() const noexcept { return sessions_; }
+
+ private:
+  MixType mix_;
+  util::Rng rng_;
+  BrowserProfile profile_;
+  bool use_cbmg_;
+  int remaining_in_session_ = 0;
+  Interaction last_ = Interaction::kHome;
+  bool in_session_ = false;
+  std::uint64_t steps_ = 0;
+  std::uint64_t sessions_ = 0;
+
+  int draw_session_length();
+  Interaction draw_interaction();
+};
+
+}  // namespace rac::workload

@@ -1,0 +1,120 @@
+#include "workload/tpcw.hpp"
+
+#include <cassert>
+
+namespace rac::workload {
+
+namespace {
+
+constexpr std::array<InteractionSpec, kNumInteractions> kInteractions = {{
+    // id, name, web, app, db (ms), write, session
+    {Interaction::kHome, "Home", 3.0, 6.0, 8.0, false, false},
+    {Interaction::kNewProducts, "New Products", 3.0, 8.0, 18.0, false, false},
+    {Interaction::kBestSellers, "Best Sellers", 3.0, 8.0, 30.0, false, false},
+    {Interaction::kProductDetail, "Product Detail", 3.0, 5.0, 6.0, false, false},
+    {Interaction::kSearchRequest, "Search Request", 2.0, 3.0, 1.0, false, false},
+    {Interaction::kSearchResults, "Search Results", 3.0, 8.0, 22.0, false, false},
+    {Interaction::kShoppingCart, "Shopping Cart", 3.0, 9.0, 12.0, true, true},
+    {Interaction::kCustomerRegistration, "Customer Registration", 2.0, 5.0, 6.0,
+     false, true},
+    {Interaction::kBuyRequest, "Buy Request", 3.0, 10.0, 16.0, true, true},
+    {Interaction::kBuyConfirm, "Buy Confirm", 3.0, 12.0, 28.0, true, true},
+    {Interaction::kOrderInquiry, "Order Inquiry", 2.0, 4.0, 4.0, false, false},
+    {Interaction::kOrderDisplay, "Order Display", 3.0, 6.0, 14.0, false, true},
+    {Interaction::kAdminRequest, "Admin Request", 2.0, 4.0, 6.0, false, false},
+    {Interaction::kAdminConfirm, "Admin Confirm", 3.0, 10.0, 24.0, true, false},
+}};
+
+// Web-interaction mix percentages from the TPC-W specification (clause
+// 5.2.2): browsing 95/5, shopping 80/20, ordering 50/50 browse-to-order.
+constexpr std::array<double, kNumInteractions> kBrowsingFreq = {
+    0.2900, 0.1100, 0.1100, 0.2100, 0.1200, 0.1100, 0.0200,
+    0.0082, 0.0075, 0.0069, 0.0030, 0.0025, 0.0010, 0.0009};
+
+constexpr std::array<double, kNumInteractions> kShoppingFreq = {
+    0.1600, 0.0500, 0.0500, 0.1700, 0.2000, 0.1700, 0.1160,
+    0.0300, 0.0260, 0.0120, 0.0075, 0.0066, 0.0010, 0.0009};
+
+constexpr std::array<double, kNumInteractions> kOrderingFreq = {
+    0.0912, 0.0046, 0.0046, 0.1235, 0.1453, 0.1308, 0.1353,
+    0.1286, 0.1273, 0.1018, 0.0025, 0.0022, 0.0012, 0.0011};
+
+constexpr bool is_order_class(Interaction id) {
+  switch (id) {
+    case Interaction::kShoppingCart:
+    case Interaction::kCustomerRegistration:
+    case Interaction::kBuyRequest:
+    case Interaction::kBuyConfirm:
+    case Interaction::kOrderInquiry:
+    case Interaction::kOrderDisplay:
+    case Interaction::kAdminRequest:
+    case Interaction::kAdminConfirm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::span<const InteractionSpec, kNumInteractions> interactions() noexcept {
+  return kInteractions;
+}
+
+const InteractionSpec& interaction(Interaction id) noexcept {
+  return kInteractions[static_cast<std::size_t>(id)];
+}
+
+std::string_view interaction_name(Interaction id) noexcept {
+  return interaction(id).name;
+}
+
+std::string_view mix_name(MixType mix) noexcept {
+  switch (mix) {
+    case MixType::kBrowsing: return "browsing";
+    case MixType::kShopping: return "shopping";
+    case MixType::kOrdering: return "ordering";
+  }
+  return "?";
+}
+
+std::span<const double, kNumInteractions> mix_frequencies(MixType mix) noexcept {
+  switch (mix) {
+    case MixType::kBrowsing: return kBrowsingFreq;
+    case MixType::kShopping: return kShoppingFreq;
+    case MixType::kOrdering: return kOrderingFreq;
+  }
+  return kBrowsingFreq;
+}
+
+BrowserProfile browser_profile(MixType mix) noexcept {
+  // TPC-W think times are exponential with a 7 s mean for every mix; the
+  // session shape differs: browsing sessions are long window-shopping
+  // walks, ordering sessions are short, purposeful purchase paths.
+  switch (mix) {
+    case MixType::kBrowsing: return {7.0, 30.0, 30.0, 0.10, 90.0};
+    case MixType::kShopping: return {7.0, 20.0, 30.0, 0.08, 90.0};
+    case MixType::kOrdering: return {7.0, 12.0, 30.0, 0.05, 90.0};
+  }
+  return {7.0, 20.0, 30.0, 0.08, 90.0};
+}
+
+MixStats mix_stats(MixType mix) noexcept {
+  const auto freq = mix_frequencies(mix);
+  const auto profile = browser_profile(mix);
+  MixStats s{};
+  for (std::size_t i = 0; i < kNumInteractions; ++i) {
+    const auto& spec = kInteractions[i];
+    s.web_demand_ms += freq[i] * spec.web_demand_ms;
+    s.app_demand_ms += freq[i] * spec.app_demand_ms;
+    s.db_demand_ms += freq[i] * spec.db_demand_ms;
+    if (spec.is_write) s.write_fraction += freq[i];
+    if (spec.uses_session) s.session_fraction += freq[i];
+    if (is_order_class(spec.id)) s.order_fraction += freq[i];
+  }
+  s.think_time_mean_s = profile.think_time_mean_s;
+  s.session_length_mean = profile.session_length_mean;
+  return s;
+}
+
+}  // namespace rac::workload

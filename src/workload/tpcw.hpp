@@ -1,0 +1,102 @@
+// TPC-W workload model.
+//
+// TPC-W models an online bookstore with 14 web interactions and defines
+// three traffic mixes -- browsing, shopping, and ordering -- that differ in
+// the ratio of browse-type to order-type interactions (95/5, 80/20, 50/50).
+// The paper drives its three-tier testbed with TPC-W emulated browsers; we
+// reproduce the interaction set, the per-mix interaction frequencies from
+// the TPC-W specification, exponential think times, and a session model.
+//
+// Each interaction carries per-tier CPU service demands (milliseconds at
+// the web, application, and database tiers) calibrated to give the familiar
+// TPC-W profile: best-seller/search/buy-confirm interactions are database
+// heavy, ordering-mix traffic is write-heavy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace rac::workload {
+
+enum class Interaction : int {
+  kHome = 0,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchRequest,
+  kSearchResults,
+  kShoppingCart,
+  kCustomerRegistration,
+  kBuyRequest,
+  kBuyConfirm,
+  kOrderInquiry,
+  kOrderDisplay,
+  kAdminRequest,
+  kAdminConfirm,
+};
+
+inline constexpr std::size_t kNumInteractions = 14;
+
+enum class MixType : int { kBrowsing = 0, kShopping = 1, kOrdering = 2 };
+
+inline constexpr std::array<MixType, 3> kAllMixes = {
+    MixType::kBrowsing, MixType::kShopping, MixType::kOrdering};
+
+struct InteractionSpec {
+  Interaction id;
+  std::string_view name;
+  double web_demand_ms;  // CPU demand at the web (Apache) tier
+  double app_demand_ms;  // CPU demand at the application (Tomcat) tier
+  double db_demand_ms;   // CPU + I/O demand at the database tier
+  bool is_write;         // updates the database (cart/buy/admin-confirm)
+  bool uses_session;     // requires server-side session state
+};
+
+std::span<const InteractionSpec, kNumInteractions> interactions() noexcept;
+const InteractionSpec& interaction(Interaction id) noexcept;
+std::string_view interaction_name(Interaction id) noexcept;
+std::string_view mix_name(MixType mix) noexcept;
+
+/// Steady-state interaction frequencies of a mix (sums to 1); these follow
+/// the TPC-W specification's per-mix web-interaction percentages.
+std::span<const double, kNumInteractions> mix_frequencies(MixType mix) noexcept;
+
+/// Closed-loop emulated-browser parameters for a mix.
+struct BrowserProfile {
+  double think_time_mean_s;     // exponential think time between requests
+  double session_length_mean;   // geometric number of interactions/session
+  double inter_session_gap_s;   // idle gap between sessions of one browser
+  /// Real users occasionally stall mid-session (phone call, comparison
+  /// shopping in another tab). With probability `pause_prob` a think time
+  /// gains an additional exponential pause of mean `pause_mean_s`. These
+  /// pauses are what make the KeepAlive and Session timeouts meaningful:
+  /// a pause can outlive either timeout.
+  double pause_prob;
+  double pause_mean_s;
+
+  /// Expected think time including pauses.
+  double effective_think_mean_s() const noexcept {
+    return think_time_mean_s + pause_prob * pause_mean_s;
+  }
+};
+
+BrowserProfile browser_profile(MixType mix) noexcept;
+
+/// Aggregate per-request statistics of a mix, derived from the frequencies
+/// and interaction specs. These feed the analytic environment model.
+struct MixStats {
+  double web_demand_ms;     // expected web-tier demand per request
+  double app_demand_ms;     // expected app-tier demand per request
+  double db_demand_ms;      // expected db-tier demand per request
+  double write_fraction;    // fraction of requests that write the database
+  double session_fraction;  // fraction of requests needing session state
+  double order_fraction;    // fraction of order-class interactions
+  double think_time_mean_s;
+  double session_length_mean;
+};
+
+MixStats mix_stats(MixType mix) noexcept;
+
+}  // namespace rac::workload

@@ -1,0 +1,94 @@
+#include "config/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rac::config {
+namespace {
+
+TEST(Params, CatalogMatchesPaperTable1) {
+  EXPECT_EQ(kNumParams, 8u);
+  const auto& mc = spec(ParamId::kMaxClients);
+  EXPECT_EQ(mc.min, 50);
+  EXPECT_EQ(mc.max, 600);
+  EXPECT_EQ(mc.default_value, 150);
+  EXPECT_EQ(mc.tier, Tier::kWeb);
+
+  const auto& ka = spec(ParamId::kKeepAliveTimeout);
+  EXPECT_EQ(ka.min, 1);
+  EXPECT_EQ(ka.max, 21);
+  EXPECT_EQ(ka.default_value, 15);
+
+  const auto& mt = spec(ParamId::kMaxThreads);
+  EXPECT_EQ(mt.min, 50);
+  EXPECT_EQ(mt.max, 600);
+  EXPECT_EQ(mt.default_value, 200);
+  EXPECT_EQ(mt.tier, Tier::kApp);
+
+  const auto& st = spec(ParamId::kSessionTimeout);
+  EXPECT_EQ(st.min, 1);
+  EXPECT_EQ(st.max, 35);
+  EXPECT_EQ(st.default_value, 30);
+}
+
+TEST(Params, AllRangesAreValidAndDefaultsInRange) {
+  for (const auto& s : catalog()) {
+    EXPECT_LT(s.min, s.max) << s.name;
+    EXPECT_GE(s.default_value, s.min) << s.name;
+    EXPECT_LE(s.default_value, s.max) << s.name;
+    EXPECT_GT(s.fine_step, 0) << s.name;
+    EXPECT_LT(s.fine_step, s.max - s.min) << s.name;
+  }
+}
+
+TEST(Params, CatalogIndexedByParamId) {
+  for (const auto& s : catalog()) {
+    EXPECT_EQ(&spec(s.id), &s);
+  }
+}
+
+TEST(Params, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto& s : catalog()) names.insert(s.name);
+  EXPECT_EQ(names.size(), kNumParams);
+}
+
+TEST(Params, FourTierBalancedSplit) {
+  int web = 0;
+  int app = 0;
+  for (const auto& s : catalog()) {
+    (s.tier == Tier::kWeb ? web : app)++;
+  }
+  EXPECT_EQ(web, 4);
+  EXPECT_EQ(app, 4);
+}
+
+TEST(Params, GroupsPairOneWebWithOneAppParameter) {
+  for (ParamGroup g : kAllGroups) {
+    const auto members = group_members(g);
+    EXPECT_NE(spec(members[0]).tier, spec(members[1]).tier)
+        << group_name(g);
+    EXPECT_EQ(spec(members[0]).group, g);
+    EXPECT_EQ(spec(members[1]).group, g);
+  }
+}
+
+TEST(Params, EveryParameterBelongsToExactlyOneGroup) {
+  std::set<ParamId> seen;
+  for (ParamGroup g : kAllGroups) {
+    for (ParamId p : group_members(g)) {
+      EXPECT_TRUE(seen.insert(p).second) << name(p);
+    }
+  }
+  EXPECT_EQ(seen.size(), kNumParams);
+}
+
+TEST(Params, CapacityGroupSharesRange) {
+  const auto members = group_members(ParamGroup::kCapacity);
+  EXPECT_EQ(spec(members[0]).min, spec(members[1]).min);
+  EXPECT_EQ(spec(members[0]).max, spec(members[1]).max);
+}
+
+}  // namespace
+}  // namespace rac::config

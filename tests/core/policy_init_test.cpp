@@ -1,0 +1,163 @@
+#include "core/policy_init.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_library.hpp"
+#include "env/analytic_env.hpp"
+#include "rl/policy.hpp"
+
+namespace rac::core {
+namespace {
+
+using config::Configuration;
+using config::ParamId;
+using env::AnalyticEnv;
+using env::AnalyticEnvOptions;
+using env::SystemContext;
+using env::VmLevel;
+using workload::MixType;
+
+PolicyInitOptions fast_options() {
+  PolicyInitOptions opt;
+  opt.coarse_levels = 4;
+  opt.offline_td.max_sweeps = 120;
+  return opt;
+}
+
+AnalyticEnvOptions quiet_env() {
+  AnalyticEnvOptions opt;
+  opt.noise_sigma = 0.0;
+  return opt;
+}
+
+class PolicyInitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+    policy_ = new InitialPolicy(learn_initial_policy(env, fast_options()));
+  }
+  static void TearDownTestSuite() {
+    delete policy_;
+    policy_ = nullptr;
+  }
+  static const InitialPolicy* policy_;
+};
+
+const InitialPolicy* PolicyInitTest::policy_ = nullptr;
+
+TEST_F(PolicyInitTest, RecordsContextAndFitsSurface) {
+  EXPECT_EQ(policy_->context.mix, MixType::kShopping);
+  EXPECT_TRUE(policy_->surface.fitted());
+  EXPECT_GT(policy_->regression_r2, 0.5);
+}
+
+TEST_F(PolicyInitTest, BestSampledIsReasonable) {
+  EXPECT_GT(policy_->best_sampled_response_ms, 0.0);
+  // The coarse grid contains configurations far better than the default.
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  EXPECT_LT(policy_->best_sampled_response_ms,
+            env.evaluate(Configuration{}).response_ms);
+}
+
+TEST_F(PolicyInitTest, PredictionsCorrelateWithTruth) {
+  // On held-out (non-coarse) configurations the regression must at least
+  // rank a starved configuration far above a tuned one.
+  Configuration starved;
+  starved.set(ParamId::kMaxClients, 75);
+  Configuration tuned;
+  tuned.set(ParamId::kMaxClients, 250);
+  EXPECT_GT(policy_->predict_response_ms(starved),
+            2.0 * policy_->predict_response_ms(tuned));
+}
+
+TEST_F(PolicyInitTest, PredictRewardConsistentWithResponse) {
+  const Configuration c;
+  EXPECT_DOUBLE_EQ(
+      policy_->predict_reward(c),
+      reward_from_response(policy_->sla, policy_->predict_response_ms(c)));
+}
+
+TEST_F(PolicyInitTest, QTableCoversDefaultAndCoarseStates) {
+  EXPECT_TRUE(policy_->table.contains(Configuration::defaults()));
+  EXPECT_GT(policy_->table.size(), 81u);
+}
+
+TEST_F(PolicyInitTest, GreedyWalkFromDefaultImprovesTruePerformance) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  Configuration s;
+  const double start_rt = env.evaluate(s).response_ms;
+  for (int i = 0; i < 25; ++i) {
+    const auto a = policy_->table.best_action(s);
+    if (a.is_keep()) break;
+    s = config::ConfigSpace::apply(s, a);
+  }
+  const double end_rt = env.evaluate(s).response_ms;
+  EXPECT_LT(end_rt, 0.6 * start_rt);
+}
+
+TEST(PolicyInit, RejectsBadSampleCount) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  PolicyInitOptions opt;
+  opt.samples_per_config = 0;
+  EXPECT_THROW(learn_initial_policy(env, opt), std::invalid_argument);
+}
+
+// --- library ----------------------------------------------------------------
+
+TEST(PolicyLibrary, FindsExactContext) {
+  InitialPolicyLibrary lib;
+  InitialPolicy p1;
+  p1.context = {MixType::kShopping, VmLevel::kLevel1};
+  InitialPolicy p2;
+  p2.context = {MixType::kOrdering, VmLevel::kLevel3};
+  lib.add(p1);
+  lib.add(p2);
+  EXPECT_EQ(lib.find_context({MixType::kOrdering, VmLevel::kLevel3}), 1u);
+  EXPECT_FALSE(
+      lib.find_context({MixType::kBrowsing, VmLevel::kLevel2}).has_value());
+}
+
+TEST(PolicyLibrary, EmptyLibraryMatchesNothing) {
+  const InitialPolicyLibrary lib;
+  EXPECT_FALSE(lib.best_match(Configuration{}, 500.0).has_value());
+  EXPECT_TRUE(lib.empty());
+}
+
+TEST(PolicyLibrary, BestMatchPicksPolicyExplainingMeasurement) {
+  // Train two very different contexts; a measurement taken in one context
+  // must match that context's policy.
+  auto make = [](const SystemContext& ctx) {
+    AnalyticEnv env(ctx, quiet_env());
+    return learn_initial_policy(env, fast_options());
+  };
+  const SystemContext light{MixType::kShopping, VmLevel::kLevel1};
+  const SystemContext heavy{MixType::kOrdering, VmLevel::kLevel3};
+  InitialPolicyLibrary lib;
+  lib.add(make(light));
+  lib.add(make(heavy));
+
+  AnalyticEnv light_env(light, quiet_env());
+  AnalyticEnv heavy_env(heavy, quiet_env());
+  const Configuration c;
+  EXPECT_EQ(lib.best_match(c, light_env.evaluate(c).response_ms), 0u);
+  EXPECT_EQ(lib.best_match(c, heavy_env.evaluate(c).response_ms), 1u);
+}
+
+TEST(PolicyLibrary, BuildLibraryTrainsEveryContext) {
+  const std::vector<SystemContext> contexts = {
+      {MixType::kShopping, VmLevel::kLevel1},
+      {MixType::kOrdering, VmLevel::kLevel2},
+  };
+  const auto lib = build_library(
+      contexts,
+      [](const SystemContext& ctx) {
+        return std::make_unique<AnalyticEnv>(ctx, quiet_env());
+      },
+      fast_options());
+  ASSERT_EQ(lib.size(), 2u);
+  EXPECT_EQ(lib.at(0).context, contexts[0]);
+  EXPECT_EQ(lib.at(1).context, contexts[1]);
+}
+
+}  // namespace
+}  // namespace rac::core

@@ -1,0 +1,43 @@
+#include "core/reward.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::core {
+namespace {
+
+TEST(Reward, SlaBoundaryIsZero) {
+  const SlaSpec sla{1000.0};
+  EXPECT_DOUBLE_EQ(reward_from_response(sla, 1000.0), 0.0);
+}
+
+TEST(Reward, FasterThanSlaIsPositive) {
+  const SlaSpec sla{1000.0};
+  EXPECT_DOUBLE_EQ(reward_from_response(sla, 250.0), 0.75);
+  EXPECT_DOUBLE_EQ(reward_from_response(sla, 0.0), 1.0);
+}
+
+TEST(Reward, SlowerThanSlaIsNegativePenalty) {
+  const SlaSpec sla{1000.0};
+  EXPECT_DOUBLE_EQ(reward_from_response(sla, 3000.0), -2.0);
+}
+
+TEST(Reward, MonotoneDecreasingInResponseTime) {
+  const SlaSpec sla{800.0};
+  double prev = reward_from_response(sla, 0.0);
+  for (double rt = 100.0; rt <= 5000.0; rt += 100.0) {
+    const double r = reward_from_response(sla, rt);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Reward, InverseMappingRoundTrips) {
+  const SlaSpec sla{1234.0};
+  for (double rt : {10.0, 500.0, 1234.0, 9999.0}) {
+    EXPECT_NEAR(response_from_reward(sla, reward_from_response(sla, rt)), rt,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rac::core

@@ -1,0 +1,102 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_agent.hpp"
+#include "env/analytic_env.hpp"
+
+namespace rac::core {
+namespace {
+
+using config::Configuration;
+using env::AnalyticEnv;
+using env::AnalyticEnvOptions;
+using env::SystemContext;
+using env::VmLevel;
+using workload::MixType;
+
+AnalyticEnvOptions quiet_env() {
+  AnalyticEnvOptions opt;
+  opt.noise_sigma = 0.0;
+  return opt;
+}
+
+TEST(Runner, RecordsEveryIteration) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  const auto trace = run_agent(env, agent, {}, 10);
+  EXPECT_EQ(trace.agent, "static-default");
+  ASSERT_EQ(trace.records.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(trace.records[static_cast<std::size_t>(i)].iteration, i);
+    EXPECT_GT(trace.records[static_cast<std::size_t>(i)].response_ms, 0.0);
+    EXPECT_EQ(trace.records[static_cast<std::size_t>(i)].configuration,
+              Configuration::defaults());
+  }
+}
+
+TEST(Runner, AppliesScheduleAtRequestedIterations) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  const ContextSchedule schedule = {
+      {0, {MixType::kShopping, VmLevel::kLevel1}},
+      {5, {MixType::kOrdering, VmLevel::kLevel3}},
+  };
+  const auto trace = run_agent(env, agent, schedule, 10);
+  EXPECT_EQ(trace.records[4].context.level, VmLevel::kLevel1);
+  EXPECT_EQ(trace.records[5].context.level, VmLevel::kLevel3);
+  // The heavier context must be visibly slower.
+  EXPECT_GT(trace.records[9].response_ms, 2.0 * trace.records[0].response_ms);
+}
+
+TEST(Runner, RejectsUnsortedSchedule) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  const ContextSchedule schedule = {
+      {5, {MixType::kShopping, VmLevel::kLevel1}},
+      {5, {MixType::kOrdering, VmLevel::kLevel1}},
+  };
+  EXPECT_THROW(run_agent(env, agent, schedule, 10), std::invalid_argument);
+}
+
+TEST(AgentTrace, MeanOverRanges) {
+  AgentTrace trace;
+  for (int i = 0; i < 6; ++i) {
+    IterationRecord r;
+    r.iteration = i;
+    r.response_ms = 100.0 * (i + 1);
+    trace.records.push_back(r);
+  }
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(), 350.0);
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(0, 3), 200.0);
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(3), 500.0);
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(4, 4), 0.0);
+}
+
+TEST(AgentTrace, SettledIterationDetectsStabilization) {
+  AgentTrace trace;
+  // 10 wild iterations, then flat.
+  for (int i = 0; i < 30; ++i) {
+    IterationRecord r;
+    r.iteration = i;
+    r.response_ms = i < 10 ? (i % 2 == 0 ? 100.0 : 900.0) : 200.0;
+    trace.records.push_back(r);
+  }
+  const int settled = trace.settled_iteration(0, -1, 5, 0.25);
+  EXPECT_GE(settled, 9);
+  EXPECT_LE(settled, 12);
+}
+
+TEST(AgentTrace, NeverSettlingReturnsMinusOne) {
+  AgentTrace trace;
+  for (int i = 0; i < 30; ++i) {
+    IterationRecord r;
+    r.iteration = i;
+    r.response_ms = i % 2 == 0 ? 100.0 : 900.0;
+    trace.records.push_back(r);
+  }
+  EXPECT_EQ(trace.settled_iteration(0, -1, 5, 0.25), -1);
+}
+
+}  // namespace
+}  // namespace rac::core

@@ -1,0 +1,107 @@
+#include "core/violation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rac::core {
+namespace {
+
+TEST(ViolationDetector, SteadySignalNeverFires) {
+  ViolationDetector d;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(d.observe(500.0));
+  }
+  EXPECT_EQ(d.consecutive_violations(), 0);
+}
+
+TEST(ViolationDetector, ModerateNoiseDoesNotFire) {
+  // sigma ~8% of the mean: pvar rarely exceeds the 0.3 threshold, and
+  // never five times in a row.
+  ViolationDetector d;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(d.observe(500.0 * rng.lognormal_unit(0.08)));
+  }
+}
+
+TEST(ViolationDetector, StepChangeFiresAfterSthrConsecutive) {
+  ViolationOptions opt;  // n=10, v_thr=0.3, s_thr=5
+  ViolationDetector d(opt);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(d.observe(300.0));
+  // A 3x jump: violations accumulate; the 5th consecutive one fires.
+  int fired_at = -1;
+  for (int i = 0; i < 8; ++i) {
+    if (d.observe(900.0)) {
+      fired_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(fired_at, 4);  // 5th observation (0-indexed 4)
+}
+
+TEST(ViolationDetector, BriefSpikeDoesNotFire) {
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(d.observe(300.0));
+  // Two bad intervals, then recovery: never 5 consecutive.
+  EXPECT_FALSE(d.observe(900.0));
+  EXPECT_FALSE(d.observe(900.0));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(d.observe(300.0)) << i;
+  }
+}
+
+TEST(ViolationDetector, ResetsAfterFiring) {
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) d.observe(300.0);
+  bool fired = false;
+  for (int i = 0; i < 8 && !fired; ++i) fired = d.observe(1200.0);
+  ASSERT_TRUE(fired);
+  // Fresh history: the new (high) level is normal now.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_FALSE(d.observe(1200.0));
+  }
+}
+
+TEST(ViolationDetector, NeedsMinimumHistoryBeforeJudging) {
+  ViolationDetector d;
+  // Immediately alternating wildly: first min_history observations can
+  // never fire.
+  EXPECT_FALSE(d.observe(100.0));
+  EXPECT_FALSE(d.observe(10000.0));
+  EXPECT_FALSE(d.observe(100.0));
+}
+
+TEST(ViolationDetector, DropInResponseTimeAlsoCountsAsChange) {
+  // |rt - avg| is symmetric: a sudden improvement is also a context change
+  // (e.g. VM upgraded).
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) d.observe(2000.0);
+  bool fired = false;
+  for (int i = 0; i < 8 && !fired; ++i) fired = d.observe(400.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ViolationDetector, LastWasViolationExposed) {
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) d.observe(300.0);
+  d.observe(900.0);
+  EXPECT_TRUE(d.last_was_violation());
+  d.observe(300.0);
+  EXPECT_FALSE(d.last_was_violation());
+}
+
+TEST(ViolationDetector, RejectsBadOptions) {
+  ViolationOptions bad;
+  bad.window = 0;
+  EXPECT_THROW(ViolationDetector{bad}, std::invalid_argument);
+  bad = ViolationOptions{};
+  bad.threshold = 0.0;
+  EXPECT_THROW(ViolationDetector{bad}, std::invalid_argument);
+  bad = ViolationOptions{};
+  bad.consecutive_limit = 0;
+  EXPECT_THROW(ViolationDetector{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rac::core

@@ -1,0 +1,249 @@
+// Property tests on the analytic environment model: these lock in the
+// qualitative phenomena the paper's evaluation depends on (Figures 1-4).
+#include "env/analytic_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "config/space.hpp"
+
+namespace rac::env {
+namespace {
+
+using config::Configuration;
+using config::ParamId;
+using workload::MixType;
+
+AnalyticEnvOptions quiet() {
+  AnalyticEnvOptions opt;
+  opt.noise_sigma = 0.0;
+  return opt;
+}
+
+double rt(const AnalyticEnv& e, const Configuration& c) {
+  return e.evaluate(c).response_ms;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(AnalyticEnv, DeterministicWithoutNoise) {
+  AnalyticEnv e({MixType::kShopping, VmLevel::kLevel1}, quiet());
+  const Configuration c;
+  EXPECT_DOUBLE_EQ(rt(e, c), rt(e, c));
+}
+
+TEST(AnalyticEnv, NoiseIsMultiplicativeAndSeeded) {
+  AnalyticEnvOptions opt;
+  opt.noise_sigma = 0.1;
+  opt.seed = 5;
+  AnalyticEnv a({MixType::kShopping, VmLevel::kLevel1}, opt);
+  AnalyticEnv b({MixType::kShopping, VmLevel::kLevel1}, opt);
+  const Configuration c;
+  // Same seed, same stream.
+  EXPECT_DOUBLE_EQ(a.measure(c).response_ms, b.measure(c).response_ms);
+  // Noisy measurements vary around the deterministic value.
+  AnalyticEnv det({MixType::kShopping, VmLevel::kLevel1}, quiet());
+  const double base = rt(det, c);
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) sum += a.measure(c).response_ms;
+  EXPECT_NEAR(sum / 200.0, base, base * 0.05);
+}
+
+TEST(AnalyticEnv, LittleLawConsistency) {
+  AnalyticEnvOptions opt = quiet();
+  AnalyticEnv e({MixType::kShopping, VmLevel::kLevel1}, opt);
+  ModelDiagnostics diag;
+  const auto sample = e.evaluate(Configuration{}, &diag);
+  // X * (Z + R) ~= N for the closed model (the slot-wait extension makes
+  // this approximate).
+  const double z =
+      workload::browser_profile(MixType::kShopping).effective_think_mean_s();
+  const double cycle = z + sample.response_ms / 1000.0;
+  EXPECT_NEAR(sample.throughput_rps * cycle, opt.num_clients,
+              opt.num_clients * 0.15);
+}
+
+// --- Figure 2: MaxClients effect per VM level -----------------------------
+
+struct LevelCase {
+  VmLevel level;
+};
+
+class MaxClientsCurve : public ::testing::TestWithParam<VmLevel> {};
+
+TEST_P(MaxClientsCurve, ConcaveUpwardWithInteriorMinimum) {
+  AnalyticEnv e({MixType::kOrdering, GetParam()}, quiet());
+  std::vector<double> ys;
+  const auto grid = config::ConfigSpace::fine_grid(ParamId::kMaxClients);
+  for (int k : grid) {
+    Configuration c;
+    c.set(ParamId::kMaxClients, k);
+    ys.push_back(rt(e, c));
+  }
+  const auto min_it = std::min_element(ys.begin(), ys.end());
+  const std::size_t min_idx = static_cast<std::size_t>(min_it - ys.begin());
+  // Interior minimum.
+  EXPECT_GT(min_idx, 0u);
+  EXPECT_LT(min_idx, ys.size() - 1);
+  // Downward branch before, upward branch after (allowing small plateaus).
+  EXPECT_GT(ys.front(), *min_it * 2.0);
+  EXPECT_GT(ys.back(), *min_it * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, MaxClientsCurve,
+                         ::testing::Values(VmLevel::kLevel1, VmLevel::kLevel2,
+                                           VmLevel::kLevel3));
+
+TEST(AnalyticEnv, OptimalMaxClientsDecreasesWithVmCapacity) {
+  // The paper's counter-intuitive Figure-2 finding: more powerful VMs want
+  // a SMALLER MaxClients (requests complete faster, so fewer concurrent
+  // requests are in flight).
+  auto best_k = [&](VmLevel level) {
+    AnalyticEnv e({MixType::kOrdering, level}, quiet());
+    double best = std::numeric_limits<double>::infinity();
+    int arg = 0;
+    for (int k : config::ConfigSpace::fine_grid(ParamId::kMaxClients)) {
+      Configuration c;
+      c.set(ParamId::kMaxClients, k);
+      const double y = rt(e, c);
+      if (y < best) {
+        best = y;
+        arg = k;
+      }
+    }
+    return arg;
+  };
+  const int k1 = best_k(VmLevel::kLevel1);
+  const int k3 = best_k(VmLevel::kLevel3);
+  EXPECT_LT(k1, k3);
+}
+
+TEST(AnalyticEnv, ResponseTimeOrderedByVmLevel) {
+  const Configuration c;
+  double prev = 0.0;
+  for (VmLevel level : kAllLevels) {
+    AnalyticEnv e({MixType::kOrdering, level}, quiet());
+    const double y = rt(e, c);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+// --- Figure 4: concavity of single-parameter sweeps ------------------------
+
+class ParameterConcavity : public ::testing::TestWithParam<ParamId> {};
+
+TEST_P(ParameterConcavity, NoStrictInteriorLocalMinimumAwayFromGlobal) {
+  // Sweeping one parameter (others at defaults) the response-time curve is
+  // concave-upward in the paper's loose sense: a single descent region
+  // followed by a rise (possibly with flat plateaus, e.g. once MaxClients
+  // exceeds the browser population nothing changes). We assert the
+  // RL-relevant property: every STRICT interior local minimum is within
+  // 10% of the sweep's global minimum -- i.e. the surface has no deceptive
+  // dips for a greedy learner to fall into.
+  AnalyticEnv e({MixType::kShopping, VmLevel::kLevel3}, quiet());
+  const ParamId id = GetParam();
+  const auto grid = config::ConfigSpace::fine_grid(id);
+  std::vector<double> ys;
+  for (int v : grid) {
+    Configuration c;
+    c.set(id, v);
+    ys.push_back(rt(e, c));
+  }
+  const double global_min = *std::min_element(ys.begin(), ys.end());
+  for (std::size_t i = 1; i + 1 < ys.size(); ++i) {
+    const bool strict_local_min = ys[i] < ys[i - 1] && ys[i] < ys[i + 1];
+    if (strict_local_min) {
+      EXPECT_LE(ys[i], global_min * 1.10)
+          << "deceptive dip at index " << i << " for " << config::name(id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParams, ParameterConcavity,
+    ::testing::ValuesIn(config::kAllParams.begin(), config::kAllParams.end()),
+    [](const ::testing::TestParamInfo<ParamId>& info) {
+      std::string n(config::name(info.param));
+      for (char& ch : n) {
+        if (ch == ' ') ch = '_';
+      }
+      return n;
+    });
+
+// --- Figure 1 / 3 style: no universal best configuration -------------------
+
+TEST(AnalyticEnv, KeepAliveSweepHasInteriorOptimum) {
+  AnalyticEnv e({MixType::kShopping, VmLevel::kLevel1}, quiet());
+  std::vector<double> ys;
+  for (int ka : config::ConfigSpace::fine_grid(ParamId::kKeepAliveTimeout)) {
+    Configuration c;
+    c.set(ParamId::kKeepAliveTimeout, ka);
+    ys.push_back(rt(e, c));
+  }
+  const auto min_it = std::min_element(ys.begin(), ys.end());
+  EXPECT_GT(min_it - ys.begin(), 0);
+  EXPECT_LT(min_it - ys.begin(), static_cast<long>(ys.size()) - 1);
+}
+
+TEST(AnalyticEnv, MixesDifferInResponseAtSameConfig) {
+  const Configuration c;
+  AnalyticEnv browsing({MixType::kBrowsing, VmLevel::kLevel1}, quiet());
+  AnalyticEnv ordering({MixType::kOrdering, VmLevel::kLevel1}, quiet());
+  // Ordering is the heavier mix at the default configuration.
+  EXPECT_GT(rt(ordering, c), 1.5 * rt(browsing, c));
+}
+
+TEST(AnalyticEnv, DefaultConfigurationIsFarFromTuned) {
+  // The premise of auto-configuration: defaults leave big gains on the
+  // table (paper Section 5.2 reports ~60% improvement over the default).
+  AnalyticEnv e({MixType::kOrdering, VmLevel::kLevel1}, quiet());
+  Configuration tuned;
+  tuned.set(ParamId::kMaxClients, 250);
+  EXPECT_GT(rt(e, Configuration{}), 2.0 * rt(e, tuned));
+}
+
+TEST(AnalyticEnv, DiagnosticsAreInternallyConsistent) {
+  AnalyticEnv e({MixType::kShopping, VmLevel::kLevel3}, quiet());
+  ModelDiagnostics d;
+  Configuration c;
+  e.evaluate(c, &d);
+  EXPECT_GT(d.throughput_rps, 0.0);
+  EXPECT_GE(d.held_connections, 0.0);
+  EXPECT_LE(d.held_connections, c.value(ParamId::kMaxClients));
+  EXPECT_GE(d.db_miss_mult, 1.0);
+  EXPECT_GE(d.write_lock_mult, 1.0);
+  EXPECT_GT(d.db_buffer_mb, 0.0);
+  EXPECT_GE(d.connection_reuse, 0.0);
+  EXPECT_LE(d.connection_reuse, 1.0);
+  EXPECT_LE(d.web_workers, c.value(ParamId::kMaxClients));
+  EXPECT_LE(d.app_threads, c.value(ParamId::kMaxThreads));
+}
+
+TEST(AnalyticEnv, SetContextChangesBehaviour) {
+  AnalyticEnv e({MixType::kShopping, VmLevel::kLevel1}, quiet());
+  const Configuration c;
+  const double before = rt(e, c);
+  e.set_context({MixType::kOrdering, VmLevel::kLevel3});
+  EXPECT_EQ(e.context().level, VmLevel::kLevel3);
+  EXPECT_GT(rt(e, c), before);
+}
+
+TEST(AnalyticEnv, ThroughputScalesWithClients) {
+  AnalyticEnvOptions few = quiet();
+  few.num_clients = 100;
+  AnalyticEnvOptions many = quiet();
+  many.num_clients = 300;
+  AnalyticEnv a({MixType::kBrowsing, VmLevel::kLevel1}, few);
+  AnalyticEnv b({MixType::kBrowsing, VmLevel::kLevel1}, many);
+  Configuration c;
+  c.set(ParamId::kMaxClients, 600);  // ample slots
+  EXPECT_NEAR(b.evaluate(c).throughput_rps / a.evaluate(c).throughput_rps,
+              3.0, 0.4);
+}
+
+}  // namespace
+}  // namespace rac::env

@@ -1,0 +1,55 @@
+#include "env/context.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::env {
+namespace {
+
+TEST(Context, VmLevelsMatchPaper) {
+  EXPECT_EQ(vm_spec(VmLevel::kLevel1).vcpus, 4);
+  EXPECT_DOUBLE_EQ(vm_spec(VmLevel::kLevel1).mem_mb, 4096.0);
+  EXPECT_EQ(vm_spec(VmLevel::kLevel2).vcpus, 3);
+  EXPECT_DOUBLE_EQ(vm_spec(VmLevel::kLevel2).mem_mb, 3072.0);
+  EXPECT_EQ(vm_spec(VmLevel::kLevel3).vcpus, 2);
+  EXPECT_DOUBLE_EQ(vm_spec(VmLevel::kLevel3).mem_mb, 2048.0);
+}
+
+TEST(Context, WebVmIsFixed) {
+  const auto web = web_vm_spec();
+  EXPECT_EQ(web.vcpus, 2);
+  EXPECT_DOUBLE_EQ(web.mem_mb, 2048.0);
+}
+
+TEST(Context, Table2MatchesPaper) {
+  ASSERT_EQ(kTable2Contexts.size(), 6u);
+  EXPECT_EQ(table2_context(1).mix, workload::MixType::kShopping);
+  EXPECT_EQ(table2_context(1).level, VmLevel::kLevel1);
+  EXPECT_EQ(table2_context(2).mix, workload::MixType::kOrdering);
+  EXPECT_EQ(table2_context(2).level, VmLevel::kLevel1);
+  EXPECT_EQ(table2_context(3).mix, workload::MixType::kOrdering);
+  EXPECT_EQ(table2_context(3).level, VmLevel::kLevel3);
+  EXPECT_EQ(table2_context(4).mix, workload::MixType::kShopping);
+  EXPECT_EQ(table2_context(4).level, VmLevel::kLevel2);
+  EXPECT_EQ(table2_context(5).mix, workload::MixType::kOrdering);
+  EXPECT_EQ(table2_context(5).level, VmLevel::kLevel2);
+  EXPECT_EQ(table2_context(6).mix, workload::MixType::kBrowsing);
+  EXPECT_EQ(table2_context(6).level, VmLevel::kLevel1);
+}
+
+TEST(Context, Table2OutOfRangeThrows) {
+  EXPECT_THROW(table2_context(0), std::out_of_range);
+  EXPECT_THROW(table2_context(7), std::out_of_range);
+}
+
+TEST(Context, NamesAreReadable) {
+  EXPECT_EQ(table2_context(1).name(), "shopping/Level-1");
+  EXPECT_EQ(level_name(VmLevel::kLevel3), "Level-3");
+}
+
+TEST(Context, Equality) {
+  EXPECT_EQ(table2_context(2), table2_context(2));
+  EXPECT_FALSE(table2_context(1) == table2_context(2));
+}
+
+}  // namespace
+}  // namespace rac::env

@@ -1,0 +1,131 @@
+// Cross-validation between the two environment fidelities: the
+// discrete-event simulator is the ground truth, the analytic model is its
+// fast twin; they must agree on the qualitative shapes the RL experiments
+// rely on.
+#include "env/sim_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config/space.hpp"
+#include "env/analytic_env.hpp"
+
+namespace rac::env {
+namespace {
+
+using config::Configuration;
+using config::ParamId;
+using workload::MixType;
+
+SimEnvOptions fast_sim(int clients = 150) {
+  SimEnvOptions opt;
+  opt.num_clients = clients;
+  opt.warmup_s = 40.0;
+  opt.measure_s = 120.0;
+  opt.seed = 31;
+  return opt;
+}
+
+TEST(SimEnv, MeasureProducesPlausibleSample) {
+  SimEnv e({MixType::kShopping, VmLevel::kLevel1}, fast_sim());
+  const auto s = e.measure(Configuration{});
+  EXPECT_GT(s.response_ms, 0.0);
+  EXPECT_GT(s.throughput_rps, 1.0);
+  EXPECT_GT(e.last_measurement().completed, 100u);
+}
+
+TEST(SimEnv, StatePersistsAcrossIntervals) {
+  SimEnv e({MixType::kShopping, VmLevel::kLevel1}, fast_sim());
+  Configuration c;
+  e.measure(c);
+  const double t_after_first = 0.0;
+  (void)t_after_first;
+  const auto second = e.measure(c);
+  // Second interval runs on a warmed system: still plausible output.
+  EXPECT_GT(second.throughput_rps, 1.0);
+}
+
+TEST(SimEnv, ContextChangeToSmallerVmDegradesPerformance) {
+  SimEnv e({MixType::kOrdering, VmLevel::kLevel1}, fast_sim(220));
+  Configuration c;
+  c.set(ParamId::kMaxClients, 300);
+  const auto before = e.measure(c);
+  e.set_context({MixType::kOrdering, VmLevel::kLevel3});
+  const auto after = e.measure(c);
+  EXPECT_GT(after.response_ms, before.response_ms);
+}
+
+TEST(SimEnv, MixChangeRebuildsWorkload) {
+  SimEnv e({MixType::kBrowsing, VmLevel::kLevel1}, fast_sim(220));
+  Configuration c;
+  c.set(ParamId::kMaxClients, 300);
+  const auto browsing = e.measure(c);
+  e.set_context({MixType::kOrdering, VmLevel::kLevel1});
+  const auto ordering = e.measure(c);
+  EXPECT_EQ(e.context().mix, MixType::kOrdering);
+  // Ordering is heavier per request at equal population.
+  EXPECT_GT(ordering.response_ms, browsing.response_ms);
+}
+
+// --- cross-fidelity agreement ----------------------------------------------
+
+TEST(CrossValidation, StarvationShapeAgreesAcrossFidelities) {
+  // Both models must show the MaxClients starvation cliff and its relief.
+  const SystemContext ctx{MixType::kShopping, VmLevel::kLevel1};
+  AnalyticEnvOptions aopt;
+  aopt.noise_sigma = 0.0;
+  aopt.num_clients = 150;
+  AnalyticEnv analytic(ctx, aopt);
+  SimEnv sim(ctx, fast_sim(150));
+
+  Configuration starved;
+  starved.set(ParamId::kMaxClients, 50);
+  Configuration ample;
+  ample.set(ParamId::kMaxClients, 350);
+
+  const double a_ratio = analytic.evaluate(starved).response_ms /
+                         analytic.evaluate(ample).response_ms;
+  const double s_ratio =
+      sim.measure(starved).response_ms / sim.measure(ample).response_ms;
+  EXPECT_GT(a_ratio, 2.0);
+  EXPECT_GT(s_ratio, 2.0);
+}
+
+TEST(CrossValidation, VmLevelOrderingAgreesAcrossFidelities) {
+  Configuration c;
+  c.set(ParamId::kMaxClients, 300);
+  double prev_sim = 0.0;
+  double prev_analytic = 0.0;
+  for (VmLevel level : kAllLevels) {
+    const SystemContext ctx{MixType::kOrdering, level};
+    SimEnv sim(ctx, fast_sim(220));
+    AnalyticEnvOptions aopt;
+    aopt.noise_sigma = 0.0;
+    aopt.num_clients = 220;
+    AnalyticEnv analytic(ctx, aopt);
+    const double s = sim.measure(c).response_ms;
+    const double a = analytic.evaluate(c).response_ms;
+    EXPECT_GT(s, prev_sim * 0.95) << level_name(level);
+    EXPECT_GT(a, prev_analytic) << level_name(level);
+    prev_sim = s;
+    prev_analytic = a;
+  }
+}
+
+TEST(CrossValidation, ThroughputAgreesWithinTolerance) {
+  // At an unstarved configuration both fidelities should deliver the same
+  // closed-loop throughput (it is pinned by N and the think time).
+  const SystemContext ctx{MixType::kShopping, VmLevel::kLevel1};
+  Configuration c;
+  c.set(ParamId::kMaxClients, 400);
+  AnalyticEnvOptions aopt;
+  aopt.noise_sigma = 0.0;
+  aopt.num_clients = 150;
+  AnalyticEnv analytic(ctx, aopt);
+  SimEnv sim(ctx, fast_sim(150));
+  const double xa = analytic.evaluate(c).throughput_rps;
+  const double xs = sim.measure(c).throughput_rps;
+  EXPECT_NEAR(xs, xa, xa * 0.25);
+}
+
+}  // namespace
+}  // namespace rac::env

@@ -1,0 +1,70 @@
+#include "rl/experience.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::rl {
+namespace {
+
+using config::Configuration;
+using config::ParamId;
+
+TEST(ExperienceStore, EmptyLookupIsNullopt) {
+  const ExperienceStore store;
+  EXPECT_FALSE(store.response_ms(Configuration{}).has_value());
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(ExperienceStore, FirstRecordStoresExactValue) {
+  ExperienceStore store(0.5);
+  const Configuration c;
+  store.record(c, 250.0);
+  ASSERT_TRUE(store.response_ms(c).has_value());
+  EXPECT_DOUBLE_EQ(*store.response_ms(c), 250.0);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ExperienceStore, RepeatRecordsBlendWithEwma) {
+  ExperienceStore store(0.5);
+  const Configuration c;
+  store.record(c, 100.0);
+  store.record(c, 200.0);
+  EXPECT_DOUBLE_EQ(*store.response_ms(c), 150.0);
+  store.record(c, 150.0);
+  EXPECT_DOUBLE_EQ(*store.response_ms(c), 150.0);
+}
+
+TEST(ExperienceStore, BlendOneKeepsLatest) {
+  ExperienceStore store(1.0);
+  const Configuration c;
+  store.record(c, 100.0);
+  store.record(c, 300.0);
+  EXPECT_DOUBLE_EQ(*store.response_ms(c), 300.0);
+}
+
+TEST(ExperienceStore, DistinctConfigurationsTrackedSeparately) {
+  ExperienceStore store;
+  Configuration a;
+  Configuration b;
+  b.set(ParamId::kMaxClients, 400);
+  store.record(a, 100.0);
+  store.record(b, 900.0);
+  EXPECT_DOUBLE_EQ(*store.response_ms(a), 100.0);
+  EXPECT_DOUBLE_EQ(*store.response_ms(b), 900.0);
+  EXPECT_EQ(store.configurations().size(), 2u);
+}
+
+TEST(ExperienceStore, ClearForgetsEverything) {
+  ExperienceStore store;
+  store.record(Configuration{}, 1.0);
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_FALSE(store.response_ms(Configuration{}).has_value());
+}
+
+TEST(ExperienceStore, RejectsBadBlend) {
+  EXPECT_THROW(ExperienceStore(0.0), std::invalid_argument);
+  EXPECT_THROW(ExperienceStore(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rac::rl

@@ -1,0 +1,71 @@
+#include "rl/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::rl {
+namespace {
+
+using config::Action;
+using config::Configuration;
+using config::ParamId;
+
+TEST(EpsilonGreedy, ZeroEpsilonIsAlwaysGreedy) {
+  QTable t;
+  const Configuration s;
+  t.set_q(s, Action::increase(ParamId::kMaxClients), 5.0);
+  EpsilonGreedy policy(0.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.select(t, s, rng), Action::increase(ParamId::kMaxClients));
+  }
+}
+
+TEST(EpsilonGreedy, FullEpsilonIsUniform) {
+  QTable t;
+  const Configuration s;
+  t.set_q(s, Action::keep(), 100.0);  // greedy would always pick keep
+  EpsilonGreedy policy(1.0);
+  util::Rng rng(2);
+  std::array<int, config::kNumActions> counts{};
+  const int n = 17000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(policy.select(t, s, rng).id())];
+  }
+  for (std::size_t a = 0; a < config::kNumActions; ++a) {
+    EXPECT_NEAR(counts[a] / static_cast<double>(n), 1.0 / config::kNumActions,
+                0.01);
+  }
+}
+
+TEST(EpsilonGreedy, ExplorationRateRespected) {
+  QTable t;
+  const Configuration s;
+  t.set_q(s, Action::keep(), 100.0);
+  EpsilonGreedy policy(0.2);
+  util::Rng rng(3);
+  int non_greedy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!(policy.select(t, s, rng) == Action::keep())) ++non_greedy;
+  }
+  // Non-greedy fraction = eps * (k-1)/k.
+  const double expected = 0.2 * (config::kNumActions - 1.0) / config::kNumActions;
+  EXPECT_NEAR(non_greedy / static_cast<double>(n), expected, 0.01);
+}
+
+TEST(EpsilonGreedy, RejectsOutOfRangeEpsilon) {
+  EXPECT_THROW(EpsilonGreedy(-0.1), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedy(1.1), std::invalid_argument);
+  EpsilonGreedy p(0.5);
+  EXPECT_THROW(p.set_epsilon(2.0), std::invalid_argument);
+}
+
+TEST(GreedyAction, MatchesBestAction) {
+  QTable t;
+  const Configuration s;
+  t.set_q(s, Action::decrease(ParamId::kMaxThreads), 2.0);
+  EXPECT_EQ(greedy_action(t, s), Action::decrease(ParamId::kMaxThreads));
+}
+
+}  // namespace
+}  // namespace rac::rl

@@ -1,0 +1,105 @@
+#include "rl/qtable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::rl {
+namespace {
+
+using config::Action;
+using config::Configuration;
+using config::ParamId;
+
+TEST(QTable, UnknownStateReadsDefault) {
+  QTable t;
+  const Configuration s;
+  EXPECT_DOUBLE_EQ(t.q(s, Action::keep()), 0.0);
+  t.set_default_q(2.5);
+  EXPECT_DOUBLE_EQ(t.q(s, Action::keep()), 2.5);
+  EXPECT_DOUBLE_EQ(t.max_q(s), 2.5);
+  EXPECT_FALSE(t.contains(s));
+}
+
+TEST(QTable, SetAndGetRoundTrip) {
+  QTable t;
+  const Configuration s;
+  const Action a = Action::increase(ParamId::kMaxClients);
+  t.set_q(s, a, 3.0);
+  EXPECT_DOUBLE_EQ(t.q(s, a), 3.0);
+  EXPECT_TRUE(t.contains(s));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(QTable, AddAccumulates) {
+  QTable t;
+  const Configuration s;
+  const Action a = Action::keep();
+  t.add_q(s, a, 1.0);
+  t.add_q(s, a, 0.5);
+  EXPECT_DOUBLE_EQ(t.q(s, a), 1.5);
+}
+
+TEST(QTable, NewRowInheritsDefaultForOtherActions) {
+  QTable t;
+  t.set_default_q(-1.0);
+  const Configuration s;
+  t.set_q(s, Action::keep(), 5.0);
+  EXPECT_DOUBLE_EQ(t.q(s, Action::increase(ParamId::kMaxThreads)), -1.0);
+}
+
+TEST(QTable, BestActionIsArgmax) {
+  QTable t;
+  const Configuration s;
+  t.set_q(s, Action::increase(ParamId::kMaxClients), 1.0);
+  t.set_q(s, Action::decrease(ParamId::kSessionTimeout), 4.0);
+  EXPECT_EQ(t.best_action(s), Action::decrease(ParamId::kSessionTimeout));
+  EXPECT_DOUBLE_EQ(t.max_q(s), 4.0);
+}
+
+TEST(QTable, BestActionTieBreaksTowardKeep) {
+  QTable t;
+  const Configuration s;
+  t.set_q(s, Action::keep(), 1.0);
+  t.set_q(s, Action::increase(ParamId::kMaxClients), 1.0);
+  EXPECT_EQ(t.best_action(s), Action::keep());
+}
+
+TEST(QTable, BestActionOfUnknownStateIsKeep) {
+  const QTable t;
+  EXPECT_EQ(t.best_action(Configuration{}), Action::keep());
+}
+
+TEST(QTable, StatesEnumeratesRows) {
+  QTable t;
+  Configuration a;
+  Configuration b;
+  b.set(ParamId::kMaxClients, 300);
+  t.set_q(a, Action::keep(), 1.0);
+  t.set_q(b, Action::keep(), 2.0);
+  const auto states = t.states();
+  EXPECT_EQ(states.size(), 2u);
+}
+
+TEST(QTable, AbsorbOverwritesCollisions) {
+  QTable a;
+  QTable b;
+  const Configuration s;
+  a.set_q(s, Action::keep(), 1.0);
+  b.set_q(s, Action::keep(), 9.0);
+  Configuration other;
+  other.set(ParamId::kMaxThreads, 500);
+  b.set_q(other, Action::keep(), 3.0);
+  a.absorb(b);
+  EXPECT_DOUBLE_EQ(a.q(s, Action::keep()), 9.0);
+  EXPECT_DOUBLE_EQ(a.q(other, Action::keep()), 3.0);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(QTable, ClearEmptiesTable) {
+  QTable t;
+  t.set_q(Configuration{}, Action::keep(), 1.0);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace rac::rl

@@ -1,0 +1,96 @@
+#include "rl/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace rac::rl {
+namespace {
+
+QTable sample_table() {
+  QTable table;
+  table.set_default_q(-0.5);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto state = config::ConfigSpace::random_fine(rng);
+    for (std::size_t a = 0; a < config::kNumActions; ++a) {
+      table.set_q(state, config::Action(static_cast<int>(a)),
+                  rng.normal(0.0, 3.0));
+    }
+  }
+  return table;
+}
+
+TEST(Serialization, RoundTripIsExact) {
+  const QTable original = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, original);
+  const QTable loaded = load_qtable(stream);
+
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.default_q(), original.default_q());
+  for (const auto& state : original.states()) {
+    for (std::size_t a = 0; a < config::kNumActions; ++a) {
+      const config::Action action(static_cast<int>(a));
+      EXPECT_DOUBLE_EQ(loaded.q(state, action), original.q(state, action));
+    }
+  }
+}
+
+TEST(Serialization, EmptyTableRoundTrips) {
+  QTable empty;
+  std::stringstream stream;
+  save_qtable(stream, empty);
+  const QTable loaded = load_qtable(stream);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialization, GreedyPolicySurvivesRoundTrip) {
+  const QTable original = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, original);
+  const QTable loaded = load_qtable(stream);
+  for (const auto& state : original.states()) {
+    EXPECT_EQ(loaded.best_action(state), original.best_action(state));
+  }
+}
+
+TEST(Serialization, RejectsForeignStream) {
+  std::stringstream stream("not-a-qtable v1\n");
+  EXPECT_THROW(load_qtable(stream), std::runtime_error);
+}
+
+TEST(Serialization, RejectsUnsupportedVersion) {
+  std::stringstream stream("rac-qtable v99\ndefault_q 0x0p+0\nstates 0\n");
+  EXPECT_THROW(load_qtable(stream), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedRows) {
+  const QTable original = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, original);
+  std::string text = stream.str();
+  text.resize(text.size() * 2 / 3);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_qtable(truncated), std::runtime_error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const QTable original = sample_table();
+  const std::string path = ::testing::TempDir() + "/rac_qtable_test.txt";
+  save_qtable_file(path, original);
+  const QTable loaded = load_qtable_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileThrows) {
+  EXPECT_THROW(load_qtable_file("/nonexistent/dir/qtable.txt"),
+               std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace rac::rl

@@ -1,0 +1,140 @@
+#include "rl/td_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/policy.hpp"
+
+namespace rac::rl {
+namespace {
+
+using config::Action;
+using config::Configuration;
+using config::ConfigSpace;
+using config::ParamId;
+
+// A reward model with a single best configuration: reward 0 at the target
+// and increasingly negative with the L1 distance from it. Keeping rewards
+// non-positive makes the zero-initialized Q-table optimistic, so the
+// epsilon-greedy sweeps explore systematically (the production reward,
+// (SLA - rt)/SLA, behaves the same way in the interesting slower-than-SLA
+// region).
+RewardFn distance_reward(const Configuration& target) {
+  return [target](const Configuration& c) {
+    double distance = 0.0;
+    for (ParamId id : config::kAllParams) {
+      distance += std::abs(c.normalized(id) - target.normalized(id));
+    }
+    return -distance;
+  };
+}
+
+TEST(TdLearner, LearnsGreedyPathTowardRewardPeak) {
+  Configuration target;
+  target.set(ParamId::kMaxClients, 250);  // 4 fine steps above default
+  QTable table;
+  util::Rng rng(1);
+  TdParams params;
+  params.max_sweeps = 200;
+  params.trajectory_limit = 8;
+  const std::vector<Configuration> starts = {Configuration{}};
+  const auto result =
+      batch_train(table, starts, distance_reward(target), params, rng);
+  EXPECT_GT(result.sweeps, 0);
+
+  // Greedy walk from the default must reach the target.
+  Configuration s;
+  for (int i = 0; i < 10; ++i) {
+    const Action a = table.best_action(s);
+    if (a.is_keep()) break;
+    s = ConfigSpace::apply(s, a);
+  }
+  EXPECT_EQ(s.value(ParamId::kMaxClients), 250);
+}
+
+TEST(TdLearner, GreedyPolicyStaysAtOptimum) {
+  Configuration target;  // the default itself is optimal
+  QTable table;
+  util::Rng rng(2);
+  TdParams params;
+  params.max_sweeps = 150;
+  const std::vector<Configuration> starts = {target};
+  batch_train(table, starts, distance_reward(target), params, rng);
+  EXPECT_TRUE(table.best_action(target).is_keep());
+}
+
+TEST(TdLearner, ConvergesBelowTheta) {
+  QTable table;
+  util::Rng rng(3);
+  TdParams params;
+  params.max_sweeps = 2000;
+  params.theta = 1e-4;
+  const std::vector<Configuration> starts = {Configuration{}};
+  // Constant reward: Q converges to r/(1-gamma) everywhere reachable.
+  const auto result = batch_train(
+      table, starts, [](const Configuration&) { return 1.0; }, params, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.final_error, params.theta);
+  EXPECT_NEAR(table.max_q(Configuration{}), 1.0 / (1.0 - params.gamma), 0.05);
+}
+
+TEST(TdLearner, EmptyStartStatesIsTriviallyConverged) {
+  QTable table;
+  util::Rng rng(4);
+  const std::vector<Configuration> starts;
+  const auto result = batch_train(
+      table, starts, [](const Configuration&) { return 0.0; }, TdParams{},
+      rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.sweeps, 0);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(TdLearner, RespectsSweepBudget) {
+  QTable table;
+  util::Rng rng(5);
+  TdParams params;
+  params.max_sweeps = 3;
+  params.theta = 0.0;  // never converges
+  const std::vector<Configuration> starts = {Configuration{}};
+  const auto result = batch_train(
+      table, starts, [](const Configuration&) { return 1.0; }, params, rng);
+  EXPECT_EQ(result.sweeps, 3);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(TdLearner, HigherRewardNeighborGetsHigherQ) {
+  Configuration target;
+  target.set(ParamId::kSessionTimeout, 35);
+  QTable table;
+  util::Rng rng(6);
+  TdParams params;
+  params.max_sweeps = 120;
+  const std::vector<Configuration> starts = {Configuration{}};
+  batch_train(table, starts, distance_reward(target), params, rng);
+  const Configuration s;
+  EXPECT_GT(table.q(s, Action::increase(ParamId::kSessionTimeout)),
+            table.q(s, Action::decrease(ParamId::kSessionTimeout)));
+}
+
+TEST(TdLearner, ValidatesParameters) {
+  QTable table;
+  util::Rng rng(7);
+  const std::vector<Configuration> starts = {Configuration{}};
+  const RewardFn r = [](const Configuration&) { return 0.0; };
+  TdParams bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(batch_train(table, starts, r, bad, rng), std::invalid_argument);
+  bad = TdParams{};
+  bad.gamma = 1.0;
+  EXPECT_THROW(batch_train(table, starts, r, bad, rng), std::invalid_argument);
+  bad = TdParams{};
+  bad.trajectory_limit = 0;
+  EXPECT_THROW(batch_train(table, starts, r, bad, rng), std::invalid_argument);
+  EXPECT_THROW(batch_train(table, starts, RewardFn{}, TdParams{}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rac::rl

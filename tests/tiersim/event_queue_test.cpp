@@ -1,0 +1,114 @@
+#include "tiersim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rac::tiersim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(1.0, [&] { order.push_back(2); });
+  q.schedule_at(1.0, [&] { order.push_back(3); });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeDelay) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(5.0, [&] {
+    q.schedule_in(2.5, [&] { fired_at = q.now(); });
+  });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto handle = q.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(handle));
+  q.run_until(2.0);
+  EXPECT_FALSE(fired);
+  // Cancelling again is a no-op.
+  EXPECT_FALSE(q.cancel(handle));
+}
+
+TEST(EventQueue, CancelInvalidHandleIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(5.0, [&] { fired = true; });
+  q.run_until(4.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+  q.run_until(6.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.events_executed(), 5u);
+}
+
+TEST(EventQueue, StepExecutesSingleEvent) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RejectsPastAndInvalid) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(6.0, EventFn{}), std::invalid_argument);
+}
+
+TEST(EventQueue, PendingCountTracksLifecycle) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  const auto h1 = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace rac::tiersim

@@ -1,0 +1,58 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::util {
+namespace {
+
+TEST(AsciiChart, RendersTitleLegendAndAxis) {
+  AsciiChart chart(40, 10);
+  chart.set_title("my chart");
+  chart.add_series({"series-a", '*', {0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}});
+  const std::string s = chart.str();
+  EXPECT_NE(s.find("my chart"), std::string::npos);
+  EXPECT_NE(s.find("series-a"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartSaysNoData) {
+  AsciiChart chart;
+  EXPECT_NE(chart.str().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesSymbols) {
+  AsciiChart chart(40, 10);
+  chart.add_series({"up", 'u', {0.0, 1.0}, {0.0, 1.0}});
+  chart.add_series({"down", 'd', {0.0, 1.0}, {1.0, 0.0}});
+  const std::string s = chart.str();
+  EXPECT_NE(s.find('u'), std::string::npos);
+  EXPECT_NE(s.find('d'), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsBadSeries) {
+  AsciiChart chart;
+  EXPECT_THROW(chart.add_series({"bad", 'x', {1.0}, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(chart.add_series({"empty", 'x', {}, {}}),
+               std::invalid_argument);
+}
+
+TEST(AsciiChart, RejectsTinyPlotArea) {
+  EXPECT_THROW(AsciiChart(4, 2), std::invalid_argument);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(40, 8);
+  chart.add_series({"flat", 'f', {0.0, 1.0, 2.0}, {5.0, 5.0, 5.0}});
+  EXPECT_NE(chart.str().find('f'), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart chart(40, 8);
+  chart.add_series({"dot", 'o', {1.0}, {2.0}});
+  EXPECT_NE(chart.str().find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rac::util

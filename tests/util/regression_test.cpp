@@ -1,0 +1,161 @@
+#include "util/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rac::util {
+namespace {
+
+TEST(LeastSquares, RecoversExactLinearModel) {
+  // y = 2 + 3x over a few points; features [1, x].
+  std::vector<double> rows;
+  std::vector<double> ys;
+  for (double x : {0.0, 1.0, 2.0, 5.0}) {
+    rows.push_back(1.0);
+    rows.push_back(x);
+    ys.push_back(2.0 + 3.0 * x);
+  }
+  const auto model = fit_least_squares(rows, 2, ys);
+  EXPECT_NEAR(model.weights()[0], 2.0, 1e-6);
+  EXPECT_NEAR(model.weights()[1], 3.0, 1e-6);
+  EXPECT_NEAR(model.predict(std::vector<double>{1.0, 10.0}), 32.0, 1e-5);
+}
+
+TEST(LeastSquares, RejectsBadDimensions) {
+  std::vector<double> rows = {1.0, 2.0, 3.0};
+  std::vector<double> ys = {1.0};
+  EXPECT_THROW(fit_least_squares(rows, 2, ys), std::invalid_argument);
+  EXPECT_THROW(fit_least_squares(rows, 0, ys), std::invalid_argument);
+}
+
+TEST(LeastSquares, RejectsUnderdeterminedSystem) {
+  std::vector<double> rows = {1.0, 2.0};
+  std::vector<double> ys = {3.0};
+  EXPECT_THROW(fit_least_squares(rows, 2, ys), std::invalid_argument);
+}
+
+TEST(LeastSquares, PredictRejectsWidthMismatch) {
+  std::vector<double> rows = {1.0, 0.0, 1.0, 1.0, 1.0, 2.0};
+  std::vector<double> ys = {0.0, 1.0, 2.0};
+  const auto model = fit_least_squares(rows, 2, ys);
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Poly1D, ExactQuadraticRecovery) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = -5.0; x <= 5.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(1.0 - 2.0 * x + 0.5 * x * x);
+  }
+  const auto poly = Poly1D::fit(xs, ys, 2);
+  for (double x : {-4.5, 0.3, 3.7}) {
+    EXPECT_NEAR(poly.predict(x), 1.0 - 2.0 * x + 0.5 * x * x, 1e-6);
+  }
+}
+
+TEST(Poly1D, ArgminOfConvexParabola) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back((x - 7.0) * (x - 7.0) + 3.0);
+  }
+  const auto poly = Poly1D::fit(xs, ys, 2);
+  EXPECT_NEAR(poly.argmin(0.0, 10.0), 7.0, 0.05);
+}
+
+TEST(Poly1D, NoisyFitStaysClose) {
+  Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    xs.push_back(x);
+    ys.push_back(2.0 * x * x - x + rng.normal(0.0, 0.1));
+  }
+  const auto poly = Poly1D::fit(xs, ys, 2);
+  EXPECT_NEAR(poly.predict(2.0), 6.0, 0.1);
+}
+
+TEST(Poly1D, RejectsTooFewPoints) {
+  std::vector<double> xs = {1.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(Poly1D::fit(xs, ys, 3), std::invalid_argument);
+}
+
+TEST(QuadraticSurface, RecoversSeparableQuadratic) {
+  // y = (x0-1)^2 + 2*(x1+2)^2, sampled on a grid.
+  std::vector<double> points;
+  std::vector<double> ys;
+  for (double a = -4.0; a <= 4.0; a += 1.0) {
+    for (double b = -4.0; b <= 4.0; b += 1.0) {
+      points.push_back(a);
+      points.push_back(b);
+      ys.push_back((a - 1.0) * (a - 1.0) + 2.0 * (b + 2.0) * (b + 2.0));
+    }
+  }
+  const auto surface = QuadraticSurface::fit(points, 2, ys);
+  const std::vector<double> probe = {2.5, -1.0};
+  EXPECT_NEAR(surface.predict(probe), 1.5 * 1.5 + 2.0, 1e-5);
+}
+
+TEST(QuadraticSurface, CapturesInteractionTerm) {
+  std::vector<double> points;
+  std::vector<double> ys;
+  for (double a = -2.0; a <= 2.0; a += 0.5) {
+    for (double b = -2.0; b <= 2.0; b += 0.5) {
+      points.push_back(a);
+      points.push_back(b);
+      ys.push_back(3.0 * a * b);
+    }
+  }
+  const auto surface = QuadraticSurface::fit(points, 2, ys);
+  const std::vector<double> probe = {1.5, -0.5};
+  EXPECT_NEAR(surface.predict(probe), 3.0 * 1.5 * -0.5, 1e-5);
+}
+
+TEST(QuadraticSurface, CubicTermsImproveCubicData) {
+  std::vector<double> points;
+  std::vector<double> ys;
+  for (double a = -2.0; a <= 2.0; a += 0.25) {
+    points.push_back(a);
+    ys.push_back(a * a * a);
+  }
+  const auto quad = QuadraticSurface::fit(points, 1, ys, 1e-9, 2);
+  const auto cubic = QuadraticSurface::fit(points, 1, ys, 1e-9, 3);
+  const std::vector<double> probe = {1.5};
+  const double quad_err = std::abs(quad.predict(probe) - 3.375);
+  const double cubic_err = std::abs(cubic.predict(probe) - 3.375);
+  EXPECT_LT(cubic_err, 1e-5);
+  EXPECT_GT(quad_err, 0.1);
+}
+
+TEST(QuadraticSurface, RejectsBadDegree) {
+  std::vector<double> points = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys = {0.0, 1.0, 4.0, 9.0};
+  EXPECT_THROW(QuadraticSurface::fit(points, 1, ys, 1e-9, 1),
+               std::invalid_argument);
+  EXPECT_THROW(QuadraticSurface::fit(points, 1, ys, 1e-9, 4),
+               std::invalid_argument);
+}
+
+TEST(QuadraticSurface, PredictRejectsDimensionMismatch) {
+  std::vector<double> points;
+  std::vector<double> ys;
+  for (double a = 0.0; a < 8.0; a += 1.0) {
+    points.push_back(a);
+    points.push_back(a * 2.0);
+    ys.push_back(a);
+  }
+  const auto surface = QuadraticSurface::fit(points, 2, ys);
+  EXPECT_THROW(surface.predict(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rac::util

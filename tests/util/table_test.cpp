@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name         value"), std::string::npos);
+  EXPECT_NE(s.find("longer-name  22"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"x", "y"});
+  t.add_row({1.23456, 2.0}, 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvBasic) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t({"a"});
+  t.add_row({std::vector<std::string>{"has,comma"}});
+  t.add_row({std::vector<std::string>{"has\"quote"}});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CountsRowsAndCols) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace rac::util

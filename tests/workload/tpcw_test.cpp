@@ -1,0 +1,105 @@
+#include "workload/tpcw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rac::workload {
+namespace {
+
+TEST(Tpcw, FourteenInteractions) {
+  EXPECT_EQ(kNumInteractions, 14u);
+  EXPECT_EQ(interactions().size(), 14u);
+}
+
+TEST(Tpcw, InteractionSpecsIndexedById) {
+  for (const auto& spec : interactions()) {
+    EXPECT_EQ(&interaction(spec.id), &spec);
+  }
+}
+
+TEST(Tpcw, DemandsArePositive) {
+  for (const auto& spec : interactions()) {
+    EXPECT_GT(spec.web_demand_ms, 0.0) << spec.name;
+    EXPECT_GT(spec.app_demand_ms, 0.0) << spec.name;
+    EXPECT_GT(spec.db_demand_ms, 0.0) << spec.name;
+  }
+}
+
+TEST(Tpcw, MixFrequenciesSumToOne) {
+  for (MixType mix : kAllMixes) {
+    const auto freq = mix_frequencies(mix);
+    double total = 0.0;
+    for (double f : freq) {
+      EXPECT_GT(f, 0.0);
+      total += f;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << mix_name(mix);
+  }
+}
+
+TEST(Tpcw, OrderFractionFollowsMixDefinition) {
+  // TPC-W: browsing 5%, shopping 20%, ordering 50% order-class traffic.
+  const auto browsing = mix_stats(MixType::kBrowsing);
+  const auto shopping = mix_stats(MixType::kShopping);
+  const auto ordering = mix_stats(MixType::kOrdering);
+  EXPECT_NEAR(browsing.order_fraction, 0.05, 0.01);
+  EXPECT_NEAR(shopping.order_fraction, 0.20, 0.01);
+  EXPECT_NEAR(ordering.order_fraction, 0.50, 0.01);
+}
+
+TEST(Tpcw, WriteFractionOrderedByMix) {
+  const auto browsing = mix_stats(MixType::kBrowsing);
+  const auto shopping = mix_stats(MixType::kShopping);
+  const auto ordering = mix_stats(MixType::kOrdering);
+  EXPECT_LT(browsing.write_fraction, shopping.write_fraction);
+  EXPECT_LT(shopping.write_fraction, ordering.write_fraction);
+  EXPECT_GT(ordering.write_fraction, 0.3);
+}
+
+TEST(Tpcw, SessionFractionOrderedByMix) {
+  EXPECT_LT(mix_stats(MixType::kBrowsing).session_fraction,
+            mix_stats(MixType::kOrdering).session_fraction);
+}
+
+TEST(Tpcw, AggregateDemandsPositiveAndBounded) {
+  for (MixType mix : kAllMixes) {
+    const auto stats = mix_stats(mix);
+    EXPECT_GT(stats.web_demand_ms, 0.0);
+    EXPECT_GT(stats.app_demand_ms, 0.0);
+    EXPECT_GT(stats.db_demand_ms, 0.0);
+    EXPECT_LT(stats.db_demand_ms, 30.0);  // raw table units, pre-scaling
+  }
+}
+
+TEST(Tpcw, BrowserProfileSessionLengthsOrdered) {
+  // Browsing sessions are long walks; ordering sessions are short.
+  EXPECT_GT(browser_profile(MixType::kBrowsing).session_length_mean,
+            browser_profile(MixType::kShopping).session_length_mean);
+  EXPECT_GT(browser_profile(MixType::kShopping).session_length_mean,
+            browser_profile(MixType::kOrdering).session_length_mean);
+}
+
+TEST(Tpcw, EffectiveThinkIncludesPauses) {
+  for (MixType mix : kAllMixes) {
+    const auto p = browser_profile(mix);
+    EXPECT_GT(p.effective_think_mean_s(), p.think_time_mean_s);
+    EXPECT_DOUBLE_EQ(p.effective_think_mean_s(),
+                     p.think_time_mean_s + p.pause_prob * p.pause_mean_s);
+  }
+}
+
+TEST(Tpcw, WriteInteractionsUseSessions) {
+  // Cart and purchase interactions are session-bound in TPC-W.
+  EXPECT_TRUE(interaction(Interaction::kShoppingCart).uses_session);
+  EXPECT_TRUE(interaction(Interaction::kBuyConfirm).uses_session);
+  EXPECT_TRUE(interaction(Interaction::kBuyRequest).is_write);
+  EXPECT_FALSE(interaction(Interaction::kHome).is_write);
+}
+
+TEST(Tpcw, MixNames) {
+  EXPECT_EQ(mix_name(MixType::kBrowsing), "browsing");
+  EXPECT_EQ(mix_name(MixType::kShopping), "shopping");
+  EXPECT_EQ(mix_name(MixType::kOrdering), "ordering");
+}
+
+}  // namespace
+}  // namespace rac::workload
