@@ -28,19 +28,19 @@ int main() {
   rac_options.seed = run_seed;
   core::RacAgent rac(rac_options, library, 0);
   auto env1 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(core::run_agent(*env1, rac, schedule, 90));
+  traces.push_back(bench::run_traced(*env1, rac, schedule, 90));
 
   baselines::StaticDefaultAgent static_agent;
   auto env2 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(core::run_agent(*env2, static_agent, schedule, 90));
+  traces.push_back(bench::run_traced(*env2, static_agent, schedule, 90));
 
   baselines::TrialAndErrorAgent tae;
   auto env3 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(core::run_agent(*env3, tae, schedule, 90));
+  traces.push_back(bench::run_traced(*env3, tae, schedule, 90));
 
   baselines::HillClimbAgent hill;
   auto env4 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(core::run_agent(*env4, hill, schedule, 90));
+  traces.push_back(bench::run_traced(*env4, hill, schedule, 90));
 
   bench::report_traces("Figure 5: response time per iteration", "iteration",
                        traces);
@@ -58,6 +58,8 @@ int main() {
   }
   std::cout << summary.str() << "\nCSV:\n" << summary.csv();
   std::cout << "\nRAC policy switches: " << rac.policy_switches() << "\n";
+  bench::report_metrics({"core.rac.", "core.violation.", "core.runner.",
+                         "rl.td.", "env.analytic."});
   for (int segment = 0; segment < 3; ++segment) {
     const int start = segment * 30;
     std::cout << "RAC settled in context-" << segment + 1 << " after "

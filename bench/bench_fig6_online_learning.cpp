@@ -36,7 +36,7 @@ int main() {
     opt.seed = run_seed;
     core::RacAgent with_online(opt, library, 0);
     auto env = bench::make_env(ctx, run_seed);
-    traces.push_back(core::run_agent(*env, with_online, {}, 40));
+    traces.push_back(bench::run_traced(*env, with_online, {}, 40));
     traces.back().agent = "w/ online learning";
   }
   {
@@ -45,7 +45,7 @@ int main() {
     opt.online_learning = false;
     core::RacAgent without_online(opt, library, 0);
     auto env = bench::make_env(ctx, run_seed);
-    traces.push_back(core::run_agent(*env, without_online, {}, 40));
+    traces.push_back(bench::run_traced(*env, without_online, {}, 40));
     traces.back().agent = "w/o online learning";
   }
 
@@ -65,6 +65,7 @@ int main() {
                                 traces[1].mean_response_ms(30, 40);
   std::cout << "\nstable-state improvement from online refinement: "
             << util::fmt(gain * 100.0, 1) << "%\n";
+  bench::report_metrics({"rl.td.", "core.rac."});
 
   bench::paper_note(
       "the offline-only agent stabilizes ~12 iterations sooner, but online "

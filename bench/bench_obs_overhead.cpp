@@ -1,0 +1,144 @@
+// Observability overhead -- proves the telemetry subsystem is cheap enough
+// to leave on in production: the full management loop (RAC agent + analytic
+// environment, online retraining every interval) is timed with no trace
+// sink, with a null sink, with an in-memory sink, and with a JSONL file
+// sink, plus profiling timers on/off. The headline check: instrumentation
+// overhead stays under 5% of loop time, and the disabled paths cost
+// nanoseconds per operation.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "core/rac_agent.hpp"
+#include "harness.hpp"
+#include "obs/timer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rac;
+
+constexpr int kIterations = 40;  // management-loop intervals per run
+constexpr int kRepetitions = 7;  // per arm; min taken (robust to jitter)
+
+double run_once(const core::InitialPolicyLibrary& library,
+                obs::TraceSink* sink) {
+  // Fresh agent and environment per run, identical seeds: every arm does
+  // exactly the same learning work, so timing differences isolate the
+  // instrumentation.
+  core::RacOptions options;
+  options.seed = 42;
+  core::RacAgent agent(options, library, 0);
+  auto env = bench::make_env(env::table2_context(1), 42);
+
+  core::RunOptions run_options;
+  run_options.sink = sink;
+  const auto start = std::chrono::steady_clock::now();
+  core::run_agent(*env, agent, {}, kIterations, run_options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+double ns_per_op(std::uint64_t ops, void (*body)(std::uint64_t)) {
+  const auto start = std::chrono::steady_clock::now();
+  body(ops);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::nano>(elapsed).count() /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("obs overhead",
+                "cost of metrics, decision tracing, and profiling timers");
+
+  std::cout << "training one initial policy offline ...\n";
+  core::InitialPolicyLibrary library =
+      bench::build_offline_library({env::table2_context(1)});
+
+  obs::NullTraceSink null_sink;
+  obs::MemoryTraceSink memory_sink;
+  const std::string jsonl_path = "/tmp/rac_obs_overhead.jsonl";
+  obs::JsonlTraceSink jsonl_sink(jsonl_path);
+
+  struct Arm {
+    const char* name;
+    obs::TraceSink* sink;
+    bool profiling;
+    double best_ms = std::numeric_limits<double>::infinity();
+  };
+  Arm arms[] = {
+      {"no sink, profiling off", nullptr, false},
+      {"null sink, profiling on", &null_sink, true},
+      {"memory sink, profiling on", &memory_sink, true},
+      {"JSONL sink, profiling on", &jsonl_sink, true},
+  };
+
+  // Warm-up run (allocators, caches), then interleaved repetitions so CPU
+  // frequency drift hits every arm equally.
+  run_once(library, nullptr);
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (Arm& arm : arms) {
+      obs::set_profiling(arm.profiling);
+      const double ms = run_once(library, arm.sink);
+      arm.best_ms = std::min(arm.best_ms, ms);
+      if (arm.sink == &memory_sink) memory_sink.clear();
+    }
+  }
+  obs::set_profiling(true);
+
+  const double baseline_ms = arms[0].best_ms;
+  util::TextTable table({"configuration", "best of 7 (ms)", "overhead"});
+  double worst_overhead = 0.0;
+  for (const Arm& arm : arms) {
+    const double overhead = arm.best_ms / baseline_ms - 1.0;
+    worst_overhead = std::max(worst_overhead, overhead);
+    table.add_row({arm.name, util::fmt(arm.best_ms, 2),
+                   util::fmt(overhead * 100.0, 2) + "%"});
+  }
+  std::cout << "\n" << kIterations << "-interval management loop ("
+            << kRepetitions << " repetitions, min):\n"
+            << table.str();
+
+  // Primitive costs: what one metric update / disabled instrument costs.
+  static obs::Counter& counter =
+      obs::default_registry().counter("bench.obs_overhead.counter");
+  static obs::Histogram& histogram = obs::default_registry().histogram(
+      "bench.obs_overhead.histogram", obs::latency_us_bounds());
+  const double counter_ns = ns_per_op(10'000'000, [](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) counter.add(1);
+  });
+  const double histogram_ns = ns_per_op(10'000'000, [](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      histogram.observe(static_cast<double>(i & 1023));
+    }
+  });
+  obs::set_profiling(false);
+  const double timer_off_ns = ns_per_op(10'000'000, [](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      obs::ScopedTimer t(&histogram);
+    }
+  });
+  obs::set_profiling(true);
+
+  util::TextTable prims({"primitive", "ns/op"});
+  prims.add_row({"Counter::add", util::fmt(counter_ns, 1)});
+  prims.add_row({"Histogram::observe", util::fmt(histogram_ns, 1)});
+  prims.add_row({"ScopedTimer (profiling off)", util::fmt(timer_off_ns, 1)});
+  std::cout << "\n" << prims.str();
+
+  const bool pass = worst_overhead < 0.05;
+  std::cout << "\nCHECK: worst instrumentation overhead "
+            << util::fmt(worst_overhead * 100.0, 2) << "% vs <5% budget -- "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  std::remove(jsonl_path.c_str());
+
+  bench::paper_note(
+      "(beyond the paper) telemetry must not perturb the control loop it "
+      "observes: <5% overhead with every sink enabled, ~0 when disabled",
+      pass ? "within budget; disabled primitives cost nanoseconds"
+           : "OVER BUDGET -- see table");
+  return pass ? 0 : 1;
+}

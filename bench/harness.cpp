@@ -1,5 +1,6 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <iostream>
 
 namespace rac::bench {
@@ -85,6 +86,52 @@ void banner(const std::string& artifact, const std::string& description) {
 void paper_note(const std::string& expectation, const std::string& measured) {
   std::cout << "\nPAPER:    " << expectation << "\nMEASURED: " << measured
             << "\n\n";
+}
+
+obs::TraceSink& trace_sink() {
+  static std::unique_ptr<obs::TraceSink> sink = [] {
+    std::unique_ptr<obs::TraceSink> from_env;
+    try {
+      from_env = obs::sink_from_env();
+    } catch (const std::exception& e) {
+      std::cerr << "RAC_TRACE disabled: " << e.what() << "\n";
+    }
+    if (from_env != nullptr) {
+      std::cout << "decision trace -> "
+                << static_cast<obs::JsonlTraceSink*>(from_env.get())->path()
+                << " (JSONL, one record per iteration per agent)\n";
+      return from_env;
+    }
+    return std::unique_ptr<obs::TraceSink>(new obs::NullTraceSink);
+  }();
+  return *sink;
+}
+
+core::AgentTrace run_traced(env::Environment& environment,
+                            core::ConfigAgent& agent,
+                            const core::ContextSchedule& schedule,
+                            int iterations) {
+  core::RunOptions options;
+  options.sink = &trace_sink();
+  return core::run_agent(environment, agent, schedule, iterations, options);
+}
+
+void report_metrics(const std::vector<std::string>& prefixes) {
+  obs::MetricsSnapshot snap = obs::default_registry().snapshot();
+  if (!prefixes.empty()) {
+    const auto matches = [&](const std::string& name) {
+      return std::any_of(prefixes.begin(), prefixes.end(),
+                         [&](const std::string& p) {
+                           return name.compare(0, p.size(), p) == 0;
+                         });
+    };
+    std::erase_if(snap.counters,
+                  [&](const auto& c) { return !matches(c.name); });
+    std::erase_if(snap.gauges, [&](const auto& g) { return !matches(g.name); });
+    std::erase_if(snap.histograms,
+                  [&](const auto& h) { return !matches(h.name); });
+  }
+  std::cout << "\ntelemetry (obs::default_registry):\n" << snap.to_text();
 }
 
 }  // namespace rac::bench

@@ -14,6 +14,8 @@
 #include "core/policy_library.hpp"
 #include "core/runner.hpp"
 #include "env/analytic_env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/table.hpp"
 
@@ -47,5 +49,22 @@ void banner(const std::string& artifact, const std::string& description);
 
 /// Print the paper-vs-measured summary note.
 void paper_note(const std::string& expectation, const std::string& measured);
+
+/// The process-wide decision-trace sink shared by every `run_traced` call:
+/// a JSONL sink at $RAC_TRACE when that variable is set, a null sink
+/// otherwise. Lets any bench binary produce machine-diffable traces with
+/// `RAC_TRACE=out.jsonl ./bench_...`.
+obs::TraceSink& trace_sink();
+
+/// `core::run_agent` with the shared trace sink attached.
+core::AgentTrace run_traced(env::Environment& environment,
+                            core::ConfigAgent& agent,
+                            const core::ContextSchedule& schedule,
+                            int iterations);
+
+/// Print the default registry's metrics whose names start with one of
+/// `prefixes` (all metrics when empty) -- the benches' window into what the
+/// pipeline actually did (TD sweeps, evaluations, violations, switches).
+void report_metrics(const std::vector<std::string>& prefixes = {});
 
 }  // namespace rac::bench

@@ -16,6 +16,8 @@
 #include "core/rac_agent.hpp"
 #include "core/runner.hpp"
 #include "env/analytic_env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/table.hpp"
 
@@ -49,11 +51,17 @@ int main() {
     return std::make_unique<env::AnalyticEnv>(day.front().context, opt);
   };
 
+  // Capture the RAC agent's decision trace so the day can be audited
+  // afterwards: every interval's action, reward, and violation state.
+  obs::MemoryTraceSink day_log;
+  core::RunOptions run_options;
+  run_options.sink = &day_log;
+
   core::RacOptions options;
   options.seed = 17;
   core::RacAgent rac(options, library, 0);
   auto live1 = make_live();
-  const auto rac_trace = core::run_agent(*live1, rac, day, intervals);
+  const auto rac_trace = core::run_agent(*live1, rac, day, intervals, run_options);
 
   baselines::StaticDefaultAgent untouched;
   auto live2 = make_live();
@@ -100,5 +108,31 @@ int main() {
                              rac_trace.mean_response_ms(),
                          2)
             << "x)\n";
+
+  // Audit the day from the decision trace: when did the violation detector
+  // fire, and how much of the tuning was exploratory?
+  int explored = 0, violations = 0;
+  std::vector<int> switch_intervals;
+  for (const auto& event : day_log.events()) {
+    explored += event.explored ? 1 : 0;
+    violations += event.violation ? 1 : 0;
+    if (event.policy_switched) switch_intervals.push_back(event.iteration);
+  }
+  std::cout << "\nday audit (from the decision trace): " << explored
+            << " exploratory actions, " << violations
+            << " SLA-violating intervals, policy switches at intervals [";
+  for (std::size_t i = 0; i < switch_intervals.size(); ++i) {
+    std::cout << (i ? " " : "") << switch_intervals[i];
+  }
+  std::cout << "]\n";
+
+  const auto snapshot = obs::default_registry().snapshot();
+  const auto* checks = snapshot.counter("core.violation.pvar_checks");
+  const auto* retrains = snapshot.counter("core.rac.retrains");
+  const auto* evals = snapshot.counter("env.analytic.evaluations");
+  std::cout << "registry: " << (checks ? checks->value : 0)
+            << " violation checks, " << (retrains ? retrains->value : 0)
+            << " online retrains, " << (evals ? evals->value : 0)
+            << " model evaluations\n";
   return 0;
 }

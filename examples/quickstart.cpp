@@ -6,12 +6,17 @@
 //      time, and watch the response time fall.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//
+// Set RAC_TRACE to also write the decision trace as JSONL, one record per
+// interval:  RAC_TRACE=out.jsonl ./build/examples/quickstart
 #include <iostream>
 #include <memory>
 
 #include "core/rac_agent.hpp"
 #include "core/runner.hpp"
 #include "env/analytic_env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -44,14 +49,39 @@ int main() {
   core::RacOptions options;
   core::RacAgent agent(options, library, 0);
 
-  // Management loop: 30 intervals.
-  const auto trace = core::run_agent(live, agent, {}, 30);
+  // Management loop: 30 intervals, with the decision trace captured in
+  // memory (and mirrored to $RAC_TRACE as JSONL when that is set).
+  obs::MemoryTraceSink memory_sink;
+  std::unique_ptr<obs::TraceSink> file_sink;
+  try {
+    file_sink = obs::sink_from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "RAC_TRACE disabled: " << e.what() << "\n";
+  }
+  std::vector<obs::TraceSink*> sinks = {&memory_sink};
+  if (file_sink) {
+    sinks.push_back(file_sink.get());
+    std::cout << "decision trace -> "
+              << static_cast<obs::JsonlTraceSink*>(file_sink.get())->path()
+              << " (JSONL)\n";
+  }
+  obs::TeeTraceSink tee(sinks);
+  core::RunOptions run_options;
+  run_options.sink = &tee;
+  const auto trace = core::run_agent(live, agent, {}, 30, run_options);
 
-  util::TextTable table({"interval", "configuration", "response (ms)"});
-  for (const auto& record : trace.records) {
+  // The per-interval story comes straight from the decision trace: what
+  // the agent did, whether it explored, and what it believed (Q-value).
+  util::TextTable table({"interval", "configuration", "response (ms)",
+                         "action", "explore", "Q(s,a)"});
+  const std::vector<obs::TraceEvent> events = memory_sink.events();
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const auto& record = trace.records[i];
+    const auto& event = events[i];
     table.add_row({std::to_string(record.iteration),
                    record.configuration.compact(),
-                   util::fmt(record.response_ms, 1)});
+                   util::fmt(record.response_ms, 1), event.action,
+                   event.explored ? "yes" : "", util::fmt(event.q_value, 2)});
   }
   std::cout << table.str() << "\n";
   std::cout << "default-config response : "
@@ -60,5 +90,17 @@ int main() {
             << util::fmt(trace.mean_response_ms(25, 30), 1) << " ms\n"
             << "final configuration     : "
             << trace.records.back().configuration.to_string() << "\n";
+
+  // What the pipeline did under the hood, from the metrics registry.
+  const auto snapshot = obs::default_registry().snapshot();
+  const auto* decisions = snapshot.counter("core.rac.decisions");
+  const auto* explores = snapshot.counter("core.rac.explore_actions");
+  const auto* sweeps = snapshot.counter("rl.td.sweeps");
+  const auto* backups = snapshot.counter("rl.td.backups");
+  std::cout << "\ntelemetry: " << (decisions ? decisions->value : 0)
+            << " decisions (" << (explores ? explores->value : 0)
+            << " exploratory), " << (sweeps ? sweeps->value : 0)
+            << " TD sweeps / " << (backups ? backups->value : 0)
+            << " backups across offline + online training\n";
   return 0;
 }

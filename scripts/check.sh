@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI entry point: configure with warnings-as-errors, build everything, run
+# the full test suite. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . -DRAC_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

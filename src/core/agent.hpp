@@ -11,6 +11,7 @@
 
 #include "config/configuration.hpp"
 #include "env/environment.hpp"
+#include "obs/trace.hpp"
 
 namespace rac::core {
 
@@ -26,6 +27,13 @@ class ConfigAgent {
                        const env::PerfSample& sample) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Fill the agent-specific fields of the iteration's decision record
+  /// (action, explore flag, Q-value, policy/violation signals). Called by
+  /// the management loop after `observe`, with the measurement fields
+  /// already set. Agents without internal decision state leave the record
+  /// as is.
+  virtual void annotate(obs::TraceEvent& event) const { (void)event; }
 };
 
 }  // namespace rac::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/stats.hpp"
 #include <stdexcept>
 #include <unordered_map>
@@ -28,6 +30,15 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
   if (options.samples_per_config < 1) {
     throw std::invalid_argument("learn_initial_policy: bad sample count");
   }
+
+  auto& registry = obs::default_registry();
+  static obs::Counter& c_policies =
+      registry.counter("core.policy_init.policies");
+  static obs::Counter& c_samples =
+      registry.counter("core.policy_init.offline_samples");
+  static obs::Histogram& h_train = registry.histogram(
+      "core.policy_init.train_us", obs::latency_us_bounds());
+  const obs::ScopedTimer timer(&h_train);
 
   InitialPolicy policy;
   policy.context = environment.context();
@@ -108,6 +119,9 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
 
   util::Rng rng(options.seed);
   rl::batch_train(policy.table, samples, reward, options.offline_td, rng);
+  c_policies.add(1);
+  c_samples.add(samples.size() *
+                static_cast<std::size_t>(options.samples_per_config));
   return policy;
 }
 

@@ -3,9 +3,36 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/log.hpp"
 
 namespace rac::core {
+
+namespace {
+
+struct AgentMetrics {
+  obs::Counter& decisions;
+  obs::Counter& explorations;
+  obs::Counter& policy_switches;
+  obs::Counter& retrains;
+  obs::Histogram& select_us;   // Q-table action selection (lookup path)
+  obs::Histogram& retrain_us;  // batch TD retraining per interval
+
+  static AgentMetrics& get() {
+    auto& r = obs::default_registry();
+    static AgentMetrics m{
+        r.counter("core.rac.decisions"),
+        r.counter("core.rac.explore_actions"),
+        r.counter("core.rac.policy_switches"),
+        r.counter("core.rac.retrains"),
+        r.histogram("core.rac.select_us", obs::latency_us_bounds()),
+        r.histogram("core.rac.retrain_us", obs::latency_us_bounds())};
+    return m;
+  }
+};
+
+}  // namespace
 
 RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
                    std::optional<std::size_t> initial_policy)
@@ -36,14 +63,22 @@ std::string RacAgent::name() const {
 }
 
 config::Configuration RacAgent::decide() {
+  auto& metrics = AgentMetrics::get();
+  metrics.decisions.add(1);
   if (first_decide_) {
     // Measure the starting configuration before acting (the agent needs a
     // baseline observation).
     first_decide_ = false;
+    last_selection_ = {config::Action::keep(), false,
+                       qtable_.q(current_, config::Action::keep())};
     return current_;
   }
-  const config::Action action = online_policy_.select(qtable_, current_, rng_);
-  current_ = config::ConfigSpace::apply(current_, action);
+  {
+    const obs::ScopedTimer timer(&metrics.select_us);
+    last_selection_ = online_policy_.select_detailed(qtable_, current_, rng_);
+  }
+  if (last_selection_.explored) metrics.explorations.add(1);
+  current_ = config::ConfigSpace::apply(current_, last_selection_.action);
   return current_;
 }
 
@@ -61,6 +96,9 @@ double RacAgent::lookup_response(const config::Configuration& c) const {
 }
 
 void RacAgent::retrain() {
+  auto& metrics = AgentMetrics::get();
+  metrics.retrains.add(1);
+  const obs::ScopedTimer timer(&metrics.retrain_us);
   // Batch sweep over every remembered state plus the current one, so the
   // fresh observation propagates through the Q-table (Section 4.2).
   std::vector<config::Configuration> states = experience_.configurations();
@@ -74,6 +112,8 @@ void RacAgent::retrain() {
 void RacAgent::observe(const config::Configuration& applied,
                        const env::PerfSample& sample) {
   current_ = applied;
+  last_policy_switched_ = false;
+  last_reward_ = reward_from_response(opt_.sla, sample.response_ms);
   experience_.record(applied, sample.response_ms);
 
   // Update the surface calibration from this measurement (log-space ratio
@@ -95,6 +135,8 @@ void RacAgent::observe(const config::Configuration& applied,
                        *match, " (", library_.at(*match).context.name(), ")");
         load_policy(*match);
         ++policy_switches_;
+        last_policy_switched_ = true;
+        AgentMetrics::get().policy_switches.add(1);
       }
     }
     // Stale measurements (and the old context's calibration) mislead
@@ -112,6 +154,19 @@ void RacAgent::observe(const config::Configuration& applied,
   }
 
   if (opt_.online_learning) retrain();
+}
+
+void RacAgent::annotate(obs::TraceEvent& event) const {
+  event.action = last_selection_.action.to_string();
+  event.explored = last_selection_.explored;
+  event.q_value = last_selection_.q_value;
+  event.reward = last_reward_;
+  event.sla_margin_ms = opt_.sla.reference_response_ms - event.response_ms;
+  event.active_policy =
+      active_policy_.has_value() ? static_cast<int>(*active_policy_) : -1;
+  event.policy_switched = last_policy_switched_;
+  event.violation = detector_.last_was_violation();
+  event.consecutive_violations = detector_.consecutive_violations();
 }
 
 }  // namespace rac::core

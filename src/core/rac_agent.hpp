@@ -60,6 +60,12 @@ class RacAgent : public ConfigAgent {
                const env::PerfSample& sample) override;
   std::string name() const override;
 
+  /// Decision-trace enrichment: chosen action, greedy-vs-explore flag and
+  /// Q-value from the last `decide`, reward / SLA margin of the last
+  /// measurement, active policy and the interval's violation / policy-
+  /// switch signals.
+  void annotate(obs::TraceEvent& event) const override;
+
   // -- introspection (tests, harness commentary) ---------------------------
   const rl::QTable& qtable() const noexcept { return qtable_; }
   const config::Configuration& current() const noexcept { return current_; }
@@ -81,6 +87,11 @@ class RacAgent : public ConfigAgent {
   config::Configuration current_;  // state the system currently runs
   bool first_decide_ = true;
   int policy_switches_ = 0;
+  // Rolling record of the current interval's decision, reported through
+  // `annotate` once the measurement lands.
+  rl::Selection last_selection_{};
+  bool last_policy_switched_ = false;
+  double last_reward_ = 0.0;
   // Online calibration of the offline surface: the live environment's
   // response-time *level* can differ from the offline traces' (stale
   // staging data, or a pinned policy from a foreign context); a smoothed

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/timer.hpp"
+
 namespace rac::core {
 
 double AgentTrace::mean_response_ms(int from, int to) const {
@@ -45,12 +47,20 @@ int AgentTrace::settled_iteration(int from, int to, int window,
 }
 
 AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
-                     const ContextSchedule& schedule, int iterations) {
+                     const ContextSchedule& schedule, int iterations,
+                     const RunOptions& options) {
   for (std::size_t i = 1; i < schedule.size(); ++i) {
     if (schedule[i].start_iteration <= schedule[i - 1].start_iteration) {
       throw std::invalid_argument("run_agent: schedule not sorted");
     }
   }
+
+  obs::Registry& registry =
+      options.registry != nullptr ? *options.registry : obs::default_registry();
+  obs::Counter& c_iterations = registry.counter("core.runner.iterations");
+  obs::Counter& c_traced = registry.counter("core.runner.trace_events");
+  obs::Histogram& h_iteration =
+      registry.histogram("core.runner.iteration_us", obs::latency_us_bounds());
 
   AgentTrace trace;
   trace.agent = agent.name();
@@ -63,9 +73,15 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
       environment.set_context(schedule[next_switch].context);
       ++next_switch;
     }
-    const config::Configuration applied = agent.decide();
-    const env::PerfSample sample = environment.measure(applied);
-    agent.observe(applied, sample);
+    config::Configuration applied;
+    env::PerfSample sample;
+    {
+      const obs::ScopedTimer timer(&h_iteration);
+      applied = agent.decide();
+      sample = environment.measure(applied);
+      agent.observe(applied, sample);
+    }
+    c_iterations.add(1);
 
     IterationRecord record;
     record.iteration = iter;
@@ -74,8 +90,28 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
     record.configuration = applied;
     record.context = environment.context();
     trace.records.push_back(record);
+
+    if (options.sink != nullptr) {
+      obs::TraceEvent event;
+      event.iteration = iter;
+      event.agent = trace.agent;
+      const auto& values = applied.values();
+      event.state.assign(values.begin(), values.end());
+      event.response_ms = sample.response_ms;
+      event.throughput_rps = sample.throughput_rps;
+      event.context = record.context.name();
+      agent.annotate(event);
+      options.sink->emit(event);
+      c_traced.add(1);
+    }
   }
+  if (options.sink != nullptr) options.sink->flush();
   return trace;
+}
+
+AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
+                     const ContextSchedule& schedule, int iterations) {
+  return run_agent(environment, agent, schedule, iterations, RunOptions{});
 }
 
 }  // namespace rac::core

@@ -9,6 +9,8 @@
 
 #include "core/agent.hpp"
 #include "env/environment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rac::core {
 
@@ -44,9 +46,24 @@ struct AgentTrace {
                         double tolerance = 0.25) const;
 };
 
+/// Observability attachments for a run.
+struct RunOptions {
+  /// One TraceEvent per iteration (state, action, measurement, reward,
+  /// context-adaptation signals) is emitted here; nullptr disables tracing
+  /// entirely -- the loop then does no record assembly at all.
+  obs::TraceSink* sink = nullptr;
+  /// Registry receiving the loop's counters/timers; nullptr means
+  /// obs::default_registry().
+  obs::Registry* registry = nullptr;
+};
+
 /// Run `agent` for `iterations` intervals. The schedule's context switches
 /// are applied to the environment before the matching iteration; the agent
 /// is never told.
+AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
+                     const ContextSchedule& schedule, int iterations,
+                     const RunOptions& options);
+
 AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
                      const ContextSchedule& schedule, int iterations);
 

@@ -3,7 +3,29 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rac::core {
+
+namespace {
+
+struct ViolationMetrics {
+  obs::Counter& checks;
+  obs::Counter& violations;
+  obs::Counter& context_changes;
+  obs::Gauge& consecutive;
+
+  static ViolationMetrics& get() {
+    auto& r = obs::default_registry();
+    static ViolationMetrics m{r.counter("core.violation.pvar_checks"),
+                              r.counter("core.violation.violations"),
+                              r.counter("core.violation.context_changes"),
+                              r.gauge("core.violation.consecutive")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ViolationDetector::ViolationDetector(const ViolationOptions& options)
     : opt_(options), history_(options.window) {
@@ -26,7 +48,12 @@ bool ViolationDetector::observe(double response_ms) {
   last_violation_ = pvar >= opt_.threshold;
   consecutive_ = last_violation_ ? consecutive_ + 1 : 0;
   history_.add(response_ms);
+  auto& metrics = ViolationMetrics::get();
+  metrics.checks.add(1);
+  if (last_violation_) metrics.violations.add(1);
+  metrics.consecutive.set(consecutive_);
   if (consecutive_ >= opt_.consecutive_limit) {
+    metrics.context_changes.add(1);
     reset();
     return true;
   }

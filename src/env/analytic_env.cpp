@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "queueing/mva.hpp"
 #include "workload/tpcw.hpp"
 
@@ -56,16 +58,28 @@ AnalyticEnv::AnalyticEnv(const SystemContext& context,
     : ctx_(context), opt_(options), rng_(options.seed) {}
 
 PerfSample AnalyticEnv::measure(const Configuration& configuration) {
+  static obs::Counter& c_measurements =
+      obs::default_registry().counter("env.analytic.measurements");
+  static obs::Counter& c_noise =
+      obs::default_registry().counter("env.analytic.noise_draws");
+  c_measurements.add(1);
   PerfSample sample = evaluate(configuration);
   if (opt_.noise_sigma > 0.0) {
     sample.response_ms *= rng_.lognormal_unit(opt_.noise_sigma);
     sample.throughput_rps *= rng_.lognormal_unit(opt_.noise_sigma * 0.5);
+    c_noise.add(2);
   }
   return sample;
 }
 
 PerfSample AnalyticEnv::evaluate(const Configuration& cfg,
                                  ModelDiagnostics* diagnostics) const {
+  static obs::Counter& c_evaluations =
+      obs::default_registry().counter("env.analytic.evaluations");
+  static obs::Histogram& h_evaluate = obs::default_registry().histogram(
+      "env.analytic.evaluate_us", obs::latency_us_bounds());
+  c_evaluations.add(1);
+  const obs::ScopedTimer eval_timer(&h_evaluate);
   const tiersim::SystemParams& P = opt_.system;
   const auto stats = workload::mix_stats(ctx_.mix);
   const auto profile = workload::browser_profile(ctx_.mix);

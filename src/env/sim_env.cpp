@@ -1,5 +1,8 @@
 #include "env/sim_env.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace rac::env {
 
 SimEnv::SimEnv(const SystemContext& context, const SimEnvOptions& options)
@@ -17,6 +20,12 @@ void SimEnv::rebuild(const config::Configuration& configuration) {
 }
 
 PerfSample SimEnv::measure(const config::Configuration& configuration) {
+  static obs::Counter& c_measurements =
+      obs::default_registry().counter("env.sim.measurements");
+  static obs::Histogram& h_measure = obs::default_registry().histogram(
+      "env.sim.measure_us", obs::latency_us_bounds());
+  c_measurements.add(1);
+  const obs::ScopedTimer timer(&h_measure);
   if (system_ == nullptr) {
     rebuild(configuration);
   } else if (!(system_->configuration() == configuration)) {

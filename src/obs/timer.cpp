@@ -1,0 +1,23 @@
+#include "obs/timer.hpp"
+
+#include <atomic>
+
+namespace rac::obs {
+
+namespace {
+std::atomic<bool> g_profiling{true};
+}  // namespace
+
+void set_profiling(bool enabled) noexcept {
+  g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+bool profiling_enabled() noexcept {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+std::vector<double> latency_us_bounds() {
+  return Histogram::exponential_bounds(1.0, 2.0, 24);
+}
+
+}  // namespace rac::obs

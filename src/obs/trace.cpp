@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rac::obs {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string to_json(const TraceEvent& e) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\"iteration\":" << e.iteration << ",\"agent\":";
+  append_escaped(os, e.agent);
+  os << ",\"state\":[";
+  for (std::size_t i = 0; i < e.state.size(); ++i) {
+    if (i > 0) os << ",";
+    os << e.state[i];
+  }
+  os << "],\"action\":";
+  append_escaped(os, e.action);
+  os << ",\"explored\":" << bool_str(e.explored)
+     << ",\"q_value\":" << e.q_value << ",\"response_ms\":" << e.response_ms
+     << ",\"throughput_rps\":" << e.throughput_rps << ",\"reward\":" << e.reward
+     << ",\"sla_margin_ms\":" << e.sla_margin_ms
+     << ",\"active_policy\":" << e.active_policy
+     << ",\"policy_switched\":" << bool_str(e.policy_switched)
+     << ",\"violation\":" << bool_str(e.violation)
+     << ",\"consecutive_violations\":" << e.consecutive_violations
+     << ",\"context\":";
+  append_escaped(os, e.context);
+  os << "}";
+  return os.str();
+}
+
+void MemoryTraceSink::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> MemoryTraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t MemoryTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void MemoryTraceSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+struct JsonlTraceSink::Impl {
+  std::ofstream out;
+};
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : path_(path), impl_(new Impl) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+  if (!impl_->out) {
+    throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  }
+}
+
+JsonlTraceSink::~JsonlTraceSink() = default;
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  const std::string line = to_json(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  impl_->out << line << '\n';
+}
+
+void JsonlTraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  impl_->out.flush();
+}
+
+TeeTraceSink::TeeTraceSink(std::vector<TraceSink*> sinks)
+    : sinks_(std::move(sinks)) {}
+
+void TeeTraceSink::emit(const TraceEvent& event) {
+  for (TraceSink* sink : sinks_) {
+    if (sink != nullptr) sink->emit(event);
+  }
+}
+
+void TeeTraceSink::flush() {
+  for (TraceSink* sink : sinks_) {
+    if (sink != nullptr) sink->flush();
+  }
+}
+
+std::unique_ptr<TraceSink> sink_from_env(const char* var) {
+  const char* path = std::getenv(var);
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  return std::make_unique<JsonlTraceSink>(path);
+}
+
+}  // namespace rac::obs

@@ -4,7 +4,32 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rac::queueing {
+
+namespace {
+
+// The MVA recursion is the analytic model's inner loop; count solves and
+// population-recursion steps so perf work can show where the time goes.
+obs::Counter& solve_counter() {
+  static obs::Counter& c = obs::default_registry().counter("queueing.mva.solves");
+  return c;
+}
+
+obs::Counter& curve_counter() {
+  static obs::Counter& c =
+      obs::default_registry().counter("queueing.mva.throughput_curves");
+  return c;
+}
+
+obs::Counter& step_counter() {
+  static obs::Counter& c =
+      obs::default_registry().counter("queueing.mva.recursion_steps");
+  return c;
+}
+
+}  // namespace
 
 Station make_queueing_station(std::string name, double service_rate,
                               double visit_ratio) {
@@ -64,6 +89,9 @@ MvaResult ClosedNetwork::solve(int population) const {
     throw std::invalid_argument(
         "ClosedNetwork::solve: empty network with zero think time");
   }
+
+  solve_counter().add(1);
+  step_counter().add(static_cast<std::uint64_t>(population));
 
   const std::size_t num_s = stations_.size();
   MvaResult result;
@@ -136,6 +164,8 @@ std::vector<double> ClosedNetwork::throughput_curve(int max_population) const {
   if (stations_.empty()) {
     throw std::invalid_argument("throughput_curve: no stations");
   }
+  curve_counter().add(1);
+  step_counter().add(static_cast<std::uint64_t>(max_population));
   const std::size_t num_s = stations_.size();
   auto rate_at = [&](std::size_t s, int j) -> double {
     const auto& rates = stations_[s].rates;

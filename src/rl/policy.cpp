@@ -25,6 +25,21 @@ config::Action EpsilonGreedy::select(const QTable& table,
   return table.best_action(s);
 }
 
+Selection EpsilonGreedy::select_detailed(const QTable& table,
+                                         const config::Configuration& s,
+                                         util::Rng& rng) const {
+  Selection sel;
+  if (rng.bernoulli(epsilon_)) {
+    sel.explored = true;
+    sel.action = config::Action(
+        rng.uniform_int(0, static_cast<int>(config::kNumActions) - 1));
+  } else {
+    sel.action = table.best_action(s);
+  }
+  sel.q_value = table.q(s, sel.action);
+  return sel;
+}
+
 config::Action greedy_action(const QTable& table,
                              const config::Configuration& s) {
   return table.best_action(s);

@@ -8,6 +8,13 @@
 
 namespace rac::rl {
 
+/// A selection plus how it was made (decision tracing reports both).
+struct Selection {
+  config::Action action;
+  bool explored = false;  // epsilon branch taken (vs greedy)
+  double q_value = 0.0;   // Q(s, action) at selection time
+};
+
 /// epsilon-greedy: with probability epsilon pick a uniformly random action,
 /// otherwise the greedy one.
 class EpsilonGreedy {
@@ -19,6 +26,11 @@ class EpsilonGreedy {
 
   config::Action select(const QTable& table, const config::Configuration& s,
                         util::Rng& rng) const;
+
+  /// Like `select`, also reporting the explore/greedy branch and Q-value.
+  Selection select_detailed(const QTable& table,
+                            const config::Configuration& s,
+                            util::Rng& rng) const;
 
  private:
   double epsilon_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "rl/policy.hpp"
 
 namespace rac::rl {
@@ -43,6 +45,20 @@ TdResult batch_train(QTable& table,
     return r;
   };
 
+  // Telemetry handles (resolved once per process) and local accumulators:
+  // the inner loop runs millions of backups per experiment, so counts are
+  // folded into the registry once per batch, not per update.
+  auto& registry = obs::default_registry();
+  static obs::Counter& c_runs = registry.counter("rl.td.runs");
+  static obs::Counter& c_sweeps = registry.counter("rl.td.sweeps");
+  static obs::Counter& c_backups = registry.counter("rl.td.backups");
+  static obs::Counter& c_converged = registry.counter("rl.td.converged");
+  static obs::Gauge& g_error = registry.gauge("rl.td.last_error");
+  static obs::Histogram& h_train =
+      registry.histogram("rl.td.batch_train_us", obs::latency_us_bounds());
+  const obs::ScopedTimer timer(&h_train);
+  std::uint64_t backups = 0;
+
   const auto actions = config::ConfigSpace::all_actions();
   for (int sweep = 0; sweep < params.max_sweeps; ++sweep) {
     double error = 0.0;
@@ -58,6 +74,7 @@ TdResult batch_train(QTable& table,
           const double delta = params.alpha * td;
           table.add_q(s, a, delta);
           error = std::max(error, std::abs(delta));
+          ++backups;
         }
         // Walk on epsilon-greedily; the walk chooses which states the next
         // backups touch.
@@ -71,6 +88,12 @@ TdResult batch_train(QTable& table,
       break;
     }
   }
+
+  c_runs.add(1);
+  c_sweeps.add(static_cast<std::uint64_t>(result.sweeps));
+  c_backups.add(backups);
+  if (result.converged) c_converged.add(1);
+  g_error.set(result.final_error);
   return result;
 }
 

@@ -6,6 +6,9 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace rac::tiersim {
 
 namespace {
@@ -502,13 +505,27 @@ Measurement ThreeTierSystem::run(double warmup_s, double measure_s) {
   if (warmup_s < 0.0 || measure_s <= 0.0) {
     throw std::invalid_argument("ThreeTierSystem::run: bad window");
   }
+  auto& registry = obs::default_registry();
+  static obs::Counter& c_intervals =
+      registry.counter("tiersim.measurement_intervals");
+  static obs::Counter& c_completed =
+      registry.counter("tiersim.completed_requests");
+  static obs::Counter& c_forks = registry.counter("tiersim.forks");
+  static obs::Histogram& h_interval =
+      registry.histogram("tiersim.interval_us", obs::latency_us_bounds());
+  const obs::ScopedTimer timer(&h_interval);
+
   impl_->measuring = false;
   impl_->q.run_until(impl_->q.now() + warmup_s);
   impl_->reset_window_stats();
   impl_->measuring = true;
   impl_->q.run_until(impl_->q.now() + measure_s);
   impl_->measuring = false;
-  return impl_->collect(measure_s);
+  Measurement measurement = impl_->collect(measure_s);
+  c_intervals.add(1);
+  c_completed.add(measurement.completed);
+  c_forks.add(measurement.forks);
+  return measurement;
 }
 
 void ThreeTierSystem::reconfigure(const config::Configuration& configuration) {

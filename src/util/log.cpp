@@ -1,12 +1,20 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 namespace rac::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// One mutex guards the sink pointer and the write itself: a sink swap
+// cannot race a log call, and concurrent log lines cannot interleave.
+std::mutex g_mutex;
+LogSink g_sink;  // empty = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,20 +26,41 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log(LogLevel level, const std::string& message) {
   if (level < g_level.load() || level == LogLevel::kOff) return;
   std::string line = "[";
+  line += utc_timestamp();
+  line += "] [";
   line += level_name(level);
   line += "] ";
   line += message;
-  line += '\n';
-  std::cerr << line;
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::cerr << line << '\n';
+  }
 }
 
 }  // namespace rac::util

@@ -5,6 +5,7 @@
 // policy switches) which operators of the real RAC system would read.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,8 +17,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit one line to stderr as "[LEVEL] message". Thread-compatible (each
-/// call writes a single formatted string).
+/// Receives each formatted line ("[<UTC timestamp>] [LEVEL] message", no
+/// trailing newline) that passes the level filter.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replace the destination of log lines (default: stderr). Pass nullptr to
+/// restore the default. Tests install a capturing sink to assert on agent
+/// commentary without scraping stderr.
+void set_log_sink(LogSink sink);
+
+/// Emit one line as "[2009-06-22T12:00:00Z] [LEVEL] message". Thread-safe:
+/// formatting, the sink call, and the stderr write happen under one mutex,
+/// so concurrent agents cannot interleave lines.
 void log(LogLevel level, const std::string& message);
 
 namespace detail {

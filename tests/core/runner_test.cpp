@@ -4,6 +4,7 @@
 
 #include "baselines/static_agent.hpp"
 #include "env/analytic_env.hpp"
+#include "obs/trace.hpp"
 
 namespace rac::core {
 namespace {
@@ -96,6 +97,69 @@ TEST(AgentTrace, NeverSettlingReturnsMinusOne) {
     trace.records.push_back(r);
   }
   EXPECT_EQ(trace.settled_iteration(0, -1, 5, 0.25), -1);
+}
+
+TEST(AgentTrace, SettledIterationOnEmptyTrace) {
+  const AgentTrace trace;
+  EXPECT_EQ(trace.settled_iteration(0), -1);
+  EXPECT_EQ(trace.settled_iteration(0, -1), -1);
+  EXPECT_EQ(trace.settled_iteration(5, 10), -1);
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(), 0.0);
+}
+
+TEST(AgentTrace, SettledIterationToMinusOneMeansEndOfTrace) {
+  AgentTrace trace;
+  for (int i = 0; i < 20; ++i) {
+    IterationRecord r;
+    r.iteration = i;
+    r.response_ms = i < 5 ? 900.0 : 200.0;
+    trace.records.push_back(r);
+  }
+  EXPECT_EQ(trace.settled_iteration(0, -1, 5, 0.25),
+            trace.settled_iteration(0, 20, 5, 0.25));
+  // A window that never fits in the range cannot settle.
+  EXPECT_EQ(trace.settled_iteration(0, 3, 5, 0.25), -1);
+  // from beyond the records: nothing to settle.
+  EXPECT_EQ(trace.settled_iteration(25, -1, 5, 0.25), -1);
+}
+
+TEST(Runner, EmitsOneTraceEventPerIteration) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  obs::MemoryTraceSink sink;
+  RunOptions options;
+  options.sink = &sink;
+  const ContextSchedule schedule = {
+      {0, {MixType::kShopping, VmLevel::kLevel1}},
+      {4, {MixType::kOrdering, VmLevel::kLevel3}},
+  };
+  const auto trace = run_agent(env, agent, schedule, 8, options);
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const auto& event = events[static_cast<std::size_t>(i)];
+    const auto& record = trace.records[static_cast<std::size_t>(i)];
+    EXPECT_EQ(event.iteration, i);
+    EXPECT_EQ(event.agent, "static-default");
+    const auto& values = record.configuration.values();
+    EXPECT_EQ(event.state, std::vector<int>(values.begin(), values.end()));
+    EXPECT_DOUBLE_EQ(event.response_ms, record.response_ms);
+    EXPECT_DOUBLE_EQ(event.throughput_rps, record.throughput_rps);
+    EXPECT_EQ(event.context, record.context.name());
+  }
+  EXPECT_EQ(events[3].context,
+            (SystemContext{MixType::kShopping, VmLevel::kLevel1}.name()));
+  EXPECT_EQ(events[4].context,
+            (SystemContext{MixType::kOrdering, VmLevel::kLevel3}.name()));
+}
+
+TEST(Runner, NullSinkRunsWithoutTracing) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  RunOptions options;  // sink stays nullptr
+  const auto trace = run_agent(env, agent, {}, 5, options);
+  EXPECT_EQ(trace.records.size(), 5u);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace rac::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Registry registry;
+  Counter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Registry registry;
+  Gauge& g = registry.gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsObservations) {
+  Registry registry;
+  Histogram& h = registry.histogram("test.hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (boundary counts down)
+  h.observe(5.0);    // bucket 1
+  h.observe(50.0);   // bucket 2
+  h.observe(500.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 556.5 / 5.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  Registry registry;
+  EXPECT_THROW(registry.histogram("bad", {10.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("empty", {}), std::invalid_argument);
+}
+
+TEST(Registry, SameNameReturnsSameHandle) {
+  Registry registry;
+  Counter& a = registry.counter("dup");
+  Counter& b = registry.counter("dup");
+  EXPECT_EQ(&a, &b);
+  Gauge& ga = registry.gauge("dup");  // separate namespace from counters
+  Gauge& gb = registry.gauge("dup");
+  EXPECT_EQ(&ga, &gb);
+  Histogram& ha = registry.histogram("dup", {1.0, 2.0});
+  Histogram& hb = registry.histogram("dup", {99.0});  // bounds fixed by first
+  EXPECT_EQ(&ha, &hb);
+  ASSERT_EQ(hb.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(hb.bounds()[0], 1.0);
+}
+
+TEST(Registry, SnapshotRoundTrip) {
+  Registry registry;
+  registry.counter("z.count").add(7);
+  registry.counter("a.count").add(3);
+  registry.gauge("g.last").set(-1.25);
+  Histogram& h = registry.histogram("h.lat", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(250.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[1].name, "z.count");
+
+  const CounterSample* c = snap.counter("z.count");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 7u);
+  EXPECT_EQ(snap.counter("missing"), nullptr);
+
+  const GaugeSample* g = snap.gauge("g.last");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, -1.25);
+
+  const HistogramSample* hs = snap.histogram("h.lat");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 2u);
+  EXPECT_DOUBLE_EQ(hs->sum, 255.0);
+  EXPECT_DOUBLE_EQ(hs->mean, 127.5);
+  ASSERT_EQ(hs->bucket_counts.size(), 3u);
+  EXPECT_EQ(hs->bucket_counts[0], 1u);
+  EXPECT_EQ(hs->bucket_counts[1], 0u);
+  EXPECT_EQ(hs->bucket_counts[2], 1u);
+
+  // A snapshot is a copy: later updates must not affect it.
+  registry.counter("z.count").add(100);
+  EXPECT_EQ(snap.counter("z.count")->value, 7u);
+}
+
+TEST(Registry, ExportsTextAndJson) {
+  Registry registry;
+  registry.counter("runs").add(2);
+  registry.gauge("error").set(0.5);
+  registry.histogram("lat", {1.0}).observe(3.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("runs"), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("lat"), std::string::npos);
+
+  const std::string json = snap.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  // Balanced braces/quotes (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(Registry, ResetZeroesEverythingKeepsRegistrations) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", {1.0});
+  c.add(5);
+  g.set(5.0);
+  h.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Handles are still the registered ones.
+  EXPECT_EQ(&registry.counter("c"), &c);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+}
+
+TEST(Registry, ConcurrentUpdatesAreLossless) {
+  Registry registry;
+  Counter& c = registry.counter("hits");
+  Histogram& h = registry.histogram("obs", {10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.observe(static_cast<double>((t * kPerThread + i) % 200));
+        // Registration from several threads must also be safe.
+        registry.counter("hits").add(0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(DefaultRegistry, IsAProcessSingleton) {
+  EXPECT_EQ(&default_registry(), &default_registry());
+}
+
+}  // namespace
+}  // namespace rac::obs

@@ -1,0 +1,127 @@
+// End-to-end check of the decision trace contract the bench harness relies
+// on (`RAC_TRACE=out.jsonl ./build/bench/bench_fig5_policy_comparison`):
+// running several agents through one JSONL sink must yield exactly one
+// well-formed record per iteration per agent, with the RL-specific fields
+// populated for the RAC agent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "baselines/static_agent.hpp"
+#include "baselines/trial_and_error.hpp"
+#include "core/rac_agent.hpp"
+#include "core/runner.hpp"
+#include "env/analytic_env.hpp"
+#include "obs/trace.hpp"
+
+namespace rac {
+namespace {
+
+constexpr int kIterations = 30;
+
+std::unique_ptr<env::AnalyticEnv> make_env(const env::SystemContext& context) {
+  env::AnalyticEnvOptions opt;
+  opt.seed = 11;
+  return std::make_unique<env::AnalyticEnv>(context, opt);
+}
+
+// One field="value-ish" probe: the tests below only need key presence and a
+// few exact matches, not a full JSON parser.
+bool has_key(const std::string& line, const std::string& key) {
+  return line.find("\"" + key + "\":") != std::string::npos;
+}
+
+TEST(TraceIntegration, OneWellFormedRecordPerIterationPerAgent) {
+  const auto ctx1 = env::table2_context(1);
+  const auto ctx2 = env::table2_context(2);
+  const core::ContextSchedule schedule = {{0, ctx1}, {15, ctx2}};
+
+  // Small offline library (the scenario of Figure 5, scaled down).
+  core::PolicyInitOptions init;
+  init.coarse_levels = 3;
+  init.offline_td.max_sweeps = 60;
+  core::InitialPolicyLibrary library;
+  library.add(core::learn_initial_policy(*make_env(ctx1), init));
+  library.add(core::learn_initial_policy(*make_env(ctx2), init));
+
+  const std::string path = ::testing::TempDir() + "rac_integration.jsonl";
+  {
+    obs::JsonlTraceSink sink(path);
+    core::RunOptions options;
+    options.sink = &sink;
+
+    core::RacOptions rac_options;
+    rac_options.seed = 5;
+    core::RacAgent rac(rac_options, library, 0);
+    auto env1 = make_env(ctx1);
+    core::run_agent(*env1, rac, schedule, kIterations, options);
+
+    baselines::StaticDefaultAgent static_agent;
+    auto env2 = make_env(ctx1);
+    core::run_agent(*env2, static_agent, schedule, kIterations, options);
+
+    baselines::TrialAndErrorAgent tae;
+    auto env3 = make_env(ctx1);
+    core::run_agent(*env3, tae, schedule, kIterations, options);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::map<std::string, int> per_agent;
+  std::map<std::string, int> next_iteration;
+  int total = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++total;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    for (const char* key :
+         {"iteration", "agent", "state", "action", "explored", "q_value",
+          "response_ms", "throughput_rps", "reward", "sla_margin_ms",
+          "active_policy", "policy_switched", "violation",
+          "consecutive_violations", "context"}) {
+      EXPECT_TRUE(has_key(line, key)) << "missing " << key << ": " << line;
+    }
+
+    const auto agent_pos = line.find("\"agent\":\"");
+    ASSERT_NE(agent_pos, std::string::npos);
+    const auto agent_start = agent_pos + 9;
+    const std::string agent =
+        line.substr(agent_start, line.find('"', agent_start) - agent_start);
+    ++per_agent[agent];
+
+    // Iterations must appear in order, 0..29, for every agent.
+    const std::string expected =
+        "\"iteration\":" + std::to_string(next_iteration[agent]) + ",";
+    EXPECT_NE(line.find(expected), std::string::npos) << line;
+    ++next_iteration[agent];
+
+    // Both context segments of the schedule must show up as ground truth.
+    EXPECT_TRUE(line.find("\"context\":\"" + ctx1.name() + "\"") !=
+                    std::string::npos ||
+                line.find("\"context\":\"" + ctx2.name() + "\"") !=
+                    std::string::npos)
+        << line;
+
+    if (agent == "RAC") {
+      // RL-specific enrichment: a real action string and an active policy.
+      EXPECT_FALSE(line.find("\"action\":\"\"") != std::string::npos) << line;
+      EXPECT_TRUE(line.find("\"active_policy\":0") != std::string::npos ||
+                  line.find("\"active_policy\":1") != std::string::npos)
+          << line;
+    }
+  }
+
+  EXPECT_EQ(total, 3 * kIterations);
+  ASSERT_EQ(per_agent.size(), 3u);
+  EXPECT_EQ(per_agent["RAC"], kIterations);
+  EXPECT_EQ(per_agent["static-default"], kIterations);
+  EXPECT_EQ(per_agent["trial-and-error"], kIterations);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rac
