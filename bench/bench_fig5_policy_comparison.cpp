@@ -22,25 +22,25 @@ int main() {
   const auto library = bench::build_offline_library(contexts);
 
   const std::uint64_t run_seed = 100;
-  std::vector<core::AgentTrace> traces;
 
+  // The four scenarios are independent (own agent, own environment); run
+  // them concurrently on the shared pool. Slot order == construction order.
   core::RacOptions rac_options;
   rac_options.seed = run_seed;
   core::RacAgent rac(rac_options, library, 0);
   auto env1 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(bench::run_traced(*env1, rac, schedule, 90));
-
   baselines::StaticDefaultAgent static_agent;
   auto env2 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(bench::run_traced(*env2, static_agent, schedule, 90));
-
   baselines::TrialAndErrorAgent tae;
   auto env3 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(bench::run_traced(*env3, tae, schedule, 90));
-
   baselines::HillClimbAgent hill;
   auto env4 = bench::make_env(contexts[0], run_seed);
-  traces.push_back(bench::run_traced(*env4, hill, schedule, 90));
+  const std::vector<core::AgentTrace> traces = bench::run_parallel({
+      [&] { return bench::run_traced(*env1, rac, schedule, 90); },
+      [&] { return bench::run_traced(*env2, static_agent, schedule, 90); },
+      [&] { return bench::run_traced(*env3, tae, schedule, 90); },
+      [&] { return bench::run_traced(*env4, hill, schedule, 90); },
+  });
 
   bench::report_traces("Figure 5: response time per iteration", "iteration",
                        traces);

@@ -21,18 +21,40 @@ int main() {
   // Exploration effects are bursty: keep every seed's run so the spike
   // census is not one lucky (or unlucky) trajectory. The chart and the
   // iteration table show the first seed's runs.
+  //
+  // The 9 (rate, seed) runs are independent; build every agent/environment
+  // pair up front, fan the runs out on the shared pool, then regroup the
+  // in-order results by rate.
+  struct RunSpec {
+    std::size_t rate_index;
+    std::uint64_t seed;
+  };
+  std::vector<RunSpec> specs;
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    for (std::uint64_t seed : seeds) specs.push_back({r, seed});
+  }
+  std::vector<std::unique_ptr<core::RacAgent>> agents;
+  std::vector<std::unique_ptr<env::AnalyticEnv>> envs;
+  std::vector<std::function<core::AgentTrace()>> thunks;
+  for (const RunSpec& spec : specs) {
+    core::RacOptions opt;
+    opt.seed = spec.seed;
+    opt.online_epsilon = rates[spec.rate_index];
+    agents.push_back(std::make_unique<core::RacAgent>(opt, library, 0));
+    envs.push_back(bench::make_env(ctx, spec.seed));
+    thunks.push_back([agent = agents.back().get(), env = envs.back().get()] {
+      return core::run_agent(*env, *agent, {}, 60);
+    });
+  }
+  std::vector<core::AgentTrace> results = bench::run_parallel(thunks);
+
   std::vector<std::vector<core::AgentTrace>> runs(rates.size());
   std::vector<core::AgentTrace> traces;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results[i].agent = "rate " + util::fmt(rates[specs[i].rate_index], 2);
+    runs[specs[i].rate_index].push_back(std::move(results[i]));
+  }
   for (std::size_t r = 0; r < rates.size(); ++r) {
-    for (std::uint64_t seed : seeds) {
-      core::RacOptions opt;
-      opt.seed = seed;
-      opt.online_epsilon = rates[r];
-      core::RacAgent agent(opt, library, 0);
-      auto env = bench::make_env(ctx, seed);
-      runs[r].push_back(core::run_agent(*env, agent, {}, 60));
-      runs[r].back().agent = "rate " + util::fmt(rates[r], 2);
-    }
     traces.push_back(runs[r].front());
   }
 

@@ -23,24 +23,22 @@ void run_panel(const char* label, int context_number, std::uint64_t seed) {
   const auto static_library =
       bench::build_offline_library({env::table2_context(2)});
 
-  std::vector<core::AgentTrace> traces;
-  {
-    core::RacOptions opt;
-    opt.seed = seed;
-    core::RacAgent adaptive(opt, adaptive_library, 0);
-    auto env = bench::make_env(target_ctx, seed);
-    traces.push_back(core::run_agent(*env, adaptive, {}, 40));
-    traces.back().agent = "adaptive init policy";
-  }
-  {
-    core::RacOptions opt;
-    opt.seed = seed;
-    opt.adaptive_policy_switching = false;
-    core::RacAgent pinned(opt, static_library, 0);
-    auto env = bench::make_env(target_ctx, seed);
-    traces.push_back(core::run_agent(*env, pinned, {}, 40));
-    traces.back().agent = "static init policy (ctx-2)";
-  }
+  // Both panel runs are independent; fan them out on the shared pool.
+  core::RacOptions adaptive_opt;
+  adaptive_opt.seed = seed;
+  core::RacAgent adaptive(adaptive_opt, adaptive_library, 0);
+  auto adaptive_env = bench::make_env(target_ctx, seed);
+  core::RacOptions pinned_opt;
+  pinned_opt.seed = seed;
+  pinned_opt.adaptive_policy_switching = false;
+  core::RacAgent pinned(pinned_opt, static_library, 0);
+  auto pinned_env = bench::make_env(target_ctx, seed);
+  std::vector<core::AgentTrace> traces = bench::run_parallel({
+      [&] { return core::run_agent(*adaptive_env, adaptive, {}, 40); },
+      [&] { return core::run_agent(*pinned_env, pinned, {}, 40); },
+  });
+  traces[0].agent = "adaptive init policy";
+  traces[1].agent = "static init policy (ctx-2)";
 
   bench::report_traces(std::string("Figure 9") + label + ": context-" +
                            std::to_string(context_number) + " (" +

@@ -1,0 +1,76 @@
+// Parallel policy-initialization: wall-clock speedup and determinism proof.
+//
+// Builds the same 4-context initial-policy library twice -- on a 1-thread
+// pool (the exact serial path) and on a 4-thread pool -- and reports the
+// wall-clock speedup plus a bitwise comparison of every trained policy
+// (Q-table contents, regression predictions, coarse-sample optimum). The
+// comparison must say IDENTICAL: parallelism only reschedules the work, it
+// never changes a single bit of the result. Exits non-zero otherwise, so
+// the binary doubles as an acceptance check.
+#include <chrono>
+#include <iostream>
+#include <utility>
+
+#include "core/policy_library.hpp"
+#include "harness.hpp"
+#include "obs/pool.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace rac;
+  bench::banner("Parallel init",
+                "wall-clock and determinism of the parallel library build");
+
+  const std::vector<env::SystemContext> contexts = {
+      env::table2_context(1), env::table2_context(2), env::table2_context(3),
+      env::table2_context(4)};
+  const auto make = [](const env::SystemContext& ctx) {
+    return bench::make_env(ctx, 7);
+  };
+
+  const auto timed_build = [&](util::ThreadPool& pool) {
+    core::PolicyInitOptions options;
+    options.offline_td.max_sweeps = 150;
+    options.pool = &pool;
+    const auto start = std::chrono::steady_clock::now();
+    auto library = core::build_library(contexts, make, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return std::make_pair(std::move(library), seconds);
+  };
+
+  util::ThreadPool serial_pool(1);
+  util::ThreadPool wide_pool(4, obs::pool_telemetry(obs::default_registry()));
+  std::cout << "building " << contexts.size()
+            << "-context library at 1 thread, then at " << wide_pool.size()
+            << " threads ...\n";
+  auto [serial_library, serial_s] = timed_build(serial_pool);
+  auto [parallel_library, parallel_s] = timed_build(wide_pool);
+
+  bool identical = serial_library.size() == parallel_library.size();
+  for (std::size_t i = 0; identical && i < serial_library.size(); ++i) {
+    identical =
+        core::exactly_equal(serial_library.at(i), parallel_library.at(i));
+  }
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+  util::TextTable table({"threads", "wall-clock (s)", "speedup"});
+  table.add_row({"1", util::fmt(serial_s, 2), "1.00x"});
+  table.add_row({std::to_string(wide_pool.size()), util::fmt(parallel_s, 2),
+                 util::fmt(speedup, 2) + "x"});
+  std::cout << table.str() << "\nCSV:\n" << table.csv();
+  std::cout << "\nlibraries across thread counts: "
+            << (identical ? "IDENTICAL (bitwise)" : "DIFFERENT -- BUG") << "\n";
+  bench::report_metrics({"util.pool.", "core.policy_init."});
+
+  bench::paper_note(
+      "offline policy initialization is the expensive phase the paper "
+      "amortizes per context; contexts are independent, so the library "
+      "build should scale with cores without changing any learned policy",
+      "speedup table above (expect >= 2x at 4 threads on a 4-core host) and "
+      "a bitwise-identical library at every thread count");
+
+  if (!identical) return 1;
+  return 0;
+}

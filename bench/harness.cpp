@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <iostream>
 
+#include "obs/pool.hpp"
+#include "util/thread_pool.hpp"
+
 namespace rac::bench {
 
 env::AnalyticEnvOptions default_env_options(std::uint64_t seed,
@@ -114,6 +117,15 @@ core::AgentTrace run_traced(env::Environment& environment,
   core::RunOptions options;
   options.sink = &trace_sink();
   return core::run_agent(environment, agent, schedule, iterations, options);
+}
+
+std::vector<core::AgentTrace> run_parallel(
+    const std::vector<std::function<core::AgentTrace()>>& runs) {
+  // Touch the sink before fanning out so its one-time construction (which
+  // prints a banner) happens on the calling thread, not mid-run.
+  trace_sink();
+  return obs::shared_pool().parallel_map(runs.size(),
+                                         [&](std::size_t i) { return runs[i](); });
 }
 
 void report_metrics(const std::vector<std::string>& prefixes) {

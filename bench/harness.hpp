@@ -6,6 +6,7 @@
 // PAPER-vs-MEASURED note (EXPERIMENTS.md aggregates these).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +62,14 @@ core::AgentTrace run_traced(env::Environment& environment,
                             core::ConfigAgent& agent,
                             const core::ContextSchedule& schedule,
                             int iterations);
+
+/// Run independent scenario thunks concurrently on the process-wide worker
+/// pool (RAC_THREADS); thunk i's trace lands in slot i, so report order
+/// matches construction order at any thread count. Each thunk must own or
+/// exclusively reference its agent and environment -- construct them
+/// before building the thunks, never inside a shared object.
+std::vector<core::AgentTrace> run_parallel(
+    const std::vector<std::function<core::AgentTrace()>>& runs);
 
 /// Print the default registry's metrics whose names start with one of
 /// `prefixes` (all metrics when empty) -- the benches' window into what the

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: configure with warnings-as-errors, build everything, run
 # the full test suite. Usage: scripts/check.sh [build-dir]
+#
+# Set RAC_TSAN=1 to additionally build a ThreadSanitizer configuration
+# (-DRAC_TSAN=ON) in <build-dir>-tsan and run the concurrency suites
+# (ThreadPool unit tests + the parallel determinism golden tests) under it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,3 +13,10 @@ BUILD_DIR="${1:-build-check}"
 cmake -B "$BUILD_DIR" -S . -DRAC_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${RAC_TSAN:-0}" == "1" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DRAC_WERROR=ON -DRAC_TSAN=ON
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target util_tests parallel_tests
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -R 'ThreadPool|DeriveSeed|parallel_tests'
+fi

@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "obs/pool.hpp"
 #include "obs/timer.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -31,13 +33,13 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
     throw std::invalid_argument("learn_initial_policy: bad sample count");
   }
 
-  auto& registry = obs::default_registry();
-  static obs::Counter& c_policies =
-      registry.counter("core.policy_init.policies");
-  static obs::Counter& c_samples =
+  obs::Registry& registry =
+      options.registry != nullptr ? *options.registry : obs::default_registry();
+  obs::Counter& c_policies = registry.counter("core.policy_init.policies");
+  obs::Counter& c_samples =
       registry.counter("core.policy_init.offline_samples");
-  static obs::Histogram& h_train = registry.histogram(
-      "core.policy_init.train_us", obs::latency_us_bounds());
+  obs::Histogram& h_train = registry.histogram("core.policy_init.train_us",
+                                               obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_train);
 
   InitialPolicy policy;
@@ -51,24 +53,48 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
   // include them so the initial policy knows the online starting state.
   samples.push_back(config::Configuration::defaults());
 
-  std::vector<double> features;  // normalized configs, row-major
-  std::vector<double> responses;
-  features.reserve(samples.size() * config::kNumParams);
-  responses.reserve(samples.size());
-
-  policy.best_sampled_response_ms = std::numeric_limits<double>::infinity();
-  for (const auto& sample : samples) {
-    double total = 0.0;
-    for (int rep = 0; rep < options.samples_per_config; ++rep) {
-      total += environment.measure(sample).response_ms;
+  std::vector<double> responses(samples.size(), 0.0);
+  if (environment.thread_safe()) {
+    // Fan the grid out over the pool, one private clone per sample. The
+    // clone is reseeded from (environment seed, sample index), so every
+    // sample owns a fixed noise stream: the responses -- and everything
+    // trained from them -- are bit-identical at any thread count,
+    // independent of how many measurements `environment` served before.
+    util::ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : obs::shared_pool();
+    pool.parallel_for(samples.size(), [&](std::size_t i) {
+      const auto clone = environment.clone_with_seed(i);
+      if (clone == nullptr) {
+        throw std::logic_error(
+            "learn_initial_policy: thread_safe environment returned a null "
+            "clone");
+      }
+      double total = 0.0;
+      for (int rep = 0; rep < options.samples_per_config; ++rep) {
+        total += clone->measure(samples[i]).response_ms;
+      }
+      responses[i] = total / options.samples_per_config;
+    });
+  } else {
+    // Shared mutable environment: measure serially in sample order.
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      double total = 0.0;
+      for (int rep = 0; rep < options.samples_per_config; ++rep) {
+        total += environment.measure(samples[i]).response_ms;
+      }
+      responses[i] = total / options.samples_per_config;
     }
-    const double response = total / options.samples_per_config;
-    const auto z = sample.normalized_values();
+  }
+
+  std::vector<double> features;  // normalized configs, row-major
+  features.reserve(samples.size() * config::kNumParams);
+  policy.best_sampled_response_ms = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto z = samples[i].normalized_values();
     features.insert(features.end(), z.begin(), z.end());
-    responses.push_back(response);
-    if (response < policy.best_sampled_response_ms) {
-      policy.best_sampled_response_ms = response;
-      policy.best_sampled = sample;
+    if (responses[i] < policy.best_sampled_response_ms) {
+      policy.best_sampled_response_ms = responses[i];
+      policy.best_sampled = samples[i];
     }
   }
 
@@ -118,11 +144,47 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
   };
 
   util::Rng rng(options.seed);
-  rl::batch_train(policy.table, samples, reward, options.offline_td, rng);
+  rl::batch_train(policy.table, samples, reward, options.offline_td, rng,
+                  options.registry);
   c_policies.add(1);
   c_samples.add(samples.size() *
                 static_cast<std::size_t>(options.samples_per_config));
   return policy;
+}
+
+namespace {
+
+bool tables_equal(const rl::QTable& a, const rl::QTable& b) {
+  if (a.size() != b.size() || a.default_q() != b.default_q()) return false;
+  const auto actions = config::ConfigSpace::all_actions();
+  for (const auto& state : a.states()) {
+    if (!b.contains(state)) return false;
+    for (const config::Action action : actions) {
+      if (a.q(state, action) != b.q(state, action)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool exactly_equal(const InitialPolicy& a, const InitialPolicy& b) {
+  if (!(a.context == b.context)) return false;
+  if (!(a.best_sampled == b.best_sampled)) return false;
+  if (a.best_sampled_response_ms != b.best_sampled_response_ms) return false;
+  if (a.regression_r2 != b.regression_r2) return false;
+  if (!tables_equal(a.table, b.table)) return false;
+  // The surface has no coefficient accessor; compare its predictions over
+  // the coarse grid it was fitted on (plus the defaults) bitwise.
+  const config::ConfigSpace space(4);
+  std::vector<config::Configuration> probes = space.coarse_grid();
+  probes.push_back(config::Configuration::defaults());
+  for (const auto& probe : probes) {
+    if (a.predict_response_ms(probe) != b.predict_response_ms(probe)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace rac::core

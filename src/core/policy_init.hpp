@@ -24,6 +24,14 @@
 #include "rl/td_learner.hpp"
 #include "util/regression.hpp"
 
+namespace rac::obs {
+class Registry;
+}  // namespace rac::obs
+
+namespace rac::util {
+class ThreadPool;
+}  // namespace rac::util
+
 namespace rac::core {
 
 struct PolicyInitOptions {
@@ -33,6 +41,13 @@ struct PolicyInitOptions {
   /// Offline Algorithm-1 constants (paper: alpha=.1, gamma=.9, eps=.1).
   rl::TdParams offline_td{0.1, 0.9, 0.1, 1e-3, 10, 300};
   std::uint64_t seed = 7;
+  /// Registry receiving core.policy_init.* / rl.td.* telemetry; nullptr
+  /// means obs::default_registry().
+  obs::Registry* registry = nullptr;
+  /// Worker pool for the coarse measurement fan-out (used only when the
+  /// environment advertises thread_safe()); nullptr means the process-wide
+  /// obs::shared_pool().
+  util::ThreadPool* pool = nullptr;
 };
 
 /// A context-specific initial policy: the pre-learned Q-table plus the
@@ -62,7 +77,20 @@ struct InitialPolicy {
 
 /// Run Algorithm 2 against `environment` (assumed already set to the
 /// context being trained for).
+///
+/// Determinism: when `environment.thread_safe()`, every coarse sample is
+/// measured on a private clone reseeded from (environment seed, sample
+/// index), so the result is bit-identical regardless of the pool's thread
+/// count and of any measurements previously drawn from `environment`.
+/// Non-thread-safe environments are measured serially in place, exactly as
+/// before.
 InitialPolicy learn_initial_policy(env::Environment& environment,
                                    const PolicyInitOptions& options = {});
+
+/// Bitwise equality of two trained policies: same context, coarse-sample
+/// optimum, fit quality, Q-table contents and regression predictions over
+/// the coarse grid. Used by the determinism golden tests and benches to
+/// prove parallel training reproduces serial output exactly.
+bool exactly_equal(const InitialPolicy& a, const InitialPolicy& b);
 
 }  // namespace rac::core

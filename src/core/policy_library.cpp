@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "obs/pool.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rac::core {
 
@@ -43,10 +47,19 @@ InitialPolicyLibrary build_library(
     const std::function<std::unique_ptr<env::Environment>(
         const env::SystemContext&)>& make_env,
     const PolicyInitOptions& options) {
+  // One task per context, each with a freshly-constructed environment, so
+  // tasks share nothing; results land in per-index slots and are merged in
+  // input order, making the parallel build bit-identical to a serial one.
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : obs::shared_pool();
+  std::vector<InitialPolicy> policies(contexts.size());
+  pool.parallel_for(contexts.size(), [&](std::size_t i) {
+    auto environment = make_env(contexts[i]);
+    policies[i] = learn_initial_policy(*environment, options);
+  });
   InitialPolicyLibrary library;
-  for (const auto& context : contexts) {
-    auto environment = make_env(context);
-    library.add(learn_initial_policy(*environment, options));
+  for (auto& policy : policies) {
+    library.add(std::move(policy));
   }
   return library;
 }

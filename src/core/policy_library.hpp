@@ -46,6 +46,13 @@ class InitialPolicyLibrary {
 
 /// Convenience: train one policy per context on freshly-constructed
 /// offline environments produced by `make_env`.
+///
+/// Contexts are trained concurrently on `options.pool` (the process-wide
+/// obs::shared_pool() when null), one task per context; `make_env` may
+/// therefore be invoked from several threads at once and must not touch
+/// shared mutable state. Each task builds its own environment and RNG, so
+/// the library is bit-identical to a serial build regardless of thread
+/// count, and policies are added in `contexts` order.
 InitialPolicyLibrary build_library(
     const std::vector<env::SystemContext>& contexts,
     const std::function<std::unique_ptr<env::Environment>(

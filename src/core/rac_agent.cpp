@@ -11,26 +11,12 @@ namespace rac::core {
 
 namespace {
 
-struct AgentMetrics {
-  obs::Counter& decisions;
-  obs::Counter& explorations;
-  obs::Counter& policy_switches;
-  obs::Counter& retrains;
-  obs::Histogram& select_us;   // Q-table action selection (lookup path)
-  obs::Histogram& retrain_us;  // batch TD retraining per interval
-
-  static AgentMetrics& get() {
-    auto& r = obs::default_registry();
-    static AgentMetrics m{
-        r.counter("core.rac.decisions"),
-        r.counter("core.rac.explore_actions"),
-        r.counter("core.rac.policy_switches"),
-        r.counter("core.rac.retrains"),
-        r.histogram("core.rac.select_us", obs::latency_us_bounds()),
-        r.histogram("core.rac.retrain_us", obs::latency_us_bounds())};
-    return m;
-  }
-};
+// The detector inherits the agent's registry unless it was given its own.
+ViolationOptions with_registry(ViolationOptions violation,
+                               obs::Registry* registry) {
+  if (violation.registry == nullptr) violation.registry = registry;
+  return violation;
+}
 
 }  // namespace
 
@@ -38,9 +24,17 @@ RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
                    std::optional<std::size_t> initial_policy)
     : opt_(options),
       library_(std::move(library)),
-      detector_(options.violation),
+      detector_(with_registry(options.violation, options.registry)),
       online_policy_(options.online_epsilon),
       rng_(options.seed) {
+  obs::Registry& reg =
+      opt_.registry != nullptr ? *opt_.registry : obs::default_registry();
+  decisions_ = &reg.counter("core.rac.decisions");
+  explorations_ = &reg.counter("core.rac.explore_actions");
+  policy_switch_count_ = &reg.counter("core.rac.policy_switches");
+  retrain_count_ = &reg.counter("core.rac.retrains");
+  select_us_ = &reg.histogram("core.rac.select_us", obs::latency_us_bounds());
+  retrain_us_ = &reg.histogram("core.rac.retrain_us", obs::latency_us_bounds());
   if (!library_.empty()) {
     load_policy(initial_policy.value_or(0));
   }
@@ -63,8 +57,7 @@ std::string RacAgent::name() const {
 }
 
 config::Configuration RacAgent::decide() {
-  auto& metrics = AgentMetrics::get();
-  metrics.decisions.add(1);
+  decisions_->add(1);
   if (first_decide_) {
     // Measure the starting configuration before acting (the agent needs a
     // baseline observation).
@@ -74,10 +67,10 @@ config::Configuration RacAgent::decide() {
     return current_;
   }
   {
-    const obs::ScopedTimer timer(&metrics.select_us);
+    const obs::ScopedTimer timer(select_us_);
     last_selection_ = online_policy_.select_detailed(qtable_, current_, rng_);
   }
-  if (last_selection_.explored) metrics.explorations.add(1);
+  if (last_selection_.explored) explorations_->add(1);
   current_ = config::ConfigSpace::apply(current_, last_selection_.action);
   return current_;
 }
@@ -96,9 +89,8 @@ double RacAgent::lookup_response(const config::Configuration& c) const {
 }
 
 void RacAgent::retrain() {
-  auto& metrics = AgentMetrics::get();
-  metrics.retrains.add(1);
-  const obs::ScopedTimer timer(&metrics.retrain_us);
+  retrain_count_->add(1);
+  const obs::ScopedTimer timer(retrain_us_);
   // Batch sweep over every remembered state plus the current one, so the
   // fresh observation propagates through the Q-table (Section 4.2).
   std::vector<config::Configuration> states = experience_.configurations();
@@ -106,7 +98,8 @@ void RacAgent::retrain() {
   const rl::RewardFn reward = [this](const config::Configuration& c) {
     return reward_from_response(opt_.sla, lookup_response(c));
   };
-  rl::batch_train(qtable_, states, reward, opt_.online_td, rng_);
+  rl::batch_train(qtable_, states, reward, opt_.online_td, rng_,
+                  opt_.registry);
 }
 
 void RacAgent::observe(const config::Configuration& applied,
@@ -136,7 +129,7 @@ void RacAgent::observe(const config::Configuration& applied,
         load_policy(*match);
         ++policy_switches_;
         last_policy_switched_ = true;
-        AgentMetrics::get().policy_switches.add(1);
+        policy_switch_count_->add(1);
       }
     }
     // Stale measurements (and the old context's calibration) mislead

@@ -29,6 +29,12 @@
 #include "rl/qtable.hpp"
 #include "rl/td_learner.hpp"
 
+namespace rac::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace rac::obs
+
 namespace rac::core {
 
 struct RacOptions {
@@ -45,6 +51,11 @@ struct RacOptions {
   /// learning alone.
   bool adaptive_policy_switching = true;
   std::uint64_t seed = 11;
+  /// Registry receiving the agent's telemetry (core.rac.*, and rl.td.*
+  /// from retraining); nullptr means obs::default_registry(). Also
+  /// forwarded to the violation detector unless violation.registry is
+  /// already set.
+  obs::Registry* registry = nullptr;
 };
 
 class RacAgent : public ConfigAgent {
@@ -98,6 +109,15 @@ class RacAgent : public ConfigAgent {
   // measured/predicted ratio rescales the surface so unvisited states
   // track the live system's magnitude while keeping the learned shape.
   util::Ewma calibration_log_{0.25};
+  // Telemetry handles resolved against opt_.registry at construction
+  // (registration is mutex-guarded, updates are relaxed atomics, so agents
+  // owned by concurrent pool tasks are safe).
+  obs::Counter* decisions_ = nullptr;
+  obs::Counter* explorations_ = nullptr;
+  obs::Counter* policy_switch_count_ = nullptr;
+  obs::Counter* retrain_count_ = nullptr;
+  obs::Histogram* select_us_ = nullptr;
+  obs::Histogram* retrain_us_ = nullptr;
 
   void load_policy(std::size_t index);
   double lookup_response(const config::Configuration& c) const;

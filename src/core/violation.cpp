@@ -9,30 +9,32 @@ namespace rac::core {
 
 namespace {
 
-struct ViolationMetrics {
-  obs::Counter& checks;
-  obs::Counter& violations;
-  obs::Counter& context_changes;
-  obs::Gauge& consecutive;
-
-  static ViolationMetrics& get() {
-    auto& r = obs::default_registry();
-    static ViolationMetrics m{r.counter("core.violation.pvar_checks"),
-                              r.counter("core.violation.violations"),
-                              r.counter("core.violation.context_changes"),
-                              r.gauge("core.violation.consecutive")};
-    return m;
-  }
-};
-
-}  // namespace
-
-ViolationDetector::ViolationDetector(const ViolationOptions& options)
-    : opt_(options), history_(options.window) {
+const ViolationOptions& validated(const ViolationOptions& options) {
   if (options.window == 0 || options.threshold <= 0.0 ||
       options.consecutive_limit < 1) {
     throw std::invalid_argument("ViolationDetector: bad options");
   }
+  if (options.min_history > options.window) {
+    // The sliding window never holds more than `window` entries, so a
+    // larger minimum could never be reached: every observation would stay
+    // in the warm-up branch and context changes would never be declared.
+    throw std::invalid_argument(
+        "ViolationDetector: min_history exceeds window -- detection would "
+        "never fire");
+  }
+  return options;
+}
+
+}  // namespace
+
+ViolationDetector::ViolationDetector(const ViolationOptions& options)
+    : opt_(validated(options)), history_(options.window) {
+  obs::Registry& registry =
+      opt_.registry != nullptr ? *opt_.registry : obs::default_registry();
+  checks_ = &registry.counter("core.violation.pvar_checks");
+  violations_ = &registry.counter("core.violation.violations");
+  context_changes_ = &registry.counter("core.violation.context_changes");
+  consecutive_gauge_ = &registry.gauge("core.violation.consecutive");
 }
 
 bool ViolationDetector::observe(double response_ms) {
@@ -48,12 +50,11 @@ bool ViolationDetector::observe(double response_ms) {
   last_violation_ = pvar >= opt_.threshold;
   consecutive_ = last_violation_ ? consecutive_ + 1 : 0;
   history_.add(response_ms);
-  auto& metrics = ViolationMetrics::get();
-  metrics.checks.add(1);
-  if (last_violation_) metrics.violations.add(1);
-  metrics.consecutive.set(consecutive_);
+  checks_->add(1);
+  if (last_violation_) violations_->add(1);
+  consecutive_gauge_->set(consecutive_);
   if (consecutive_ >= opt_.consecutive_limit) {
-    metrics.context_changes.add(1);
+    context_changes_->add(1);
     reset();
     return true;
   }

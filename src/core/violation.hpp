@@ -14,6 +14,12 @@
 
 #include "util/stats.hpp"
 
+namespace rac::obs {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace rac::obs
+
 namespace rac::core {
 
 struct ViolationOptions {
@@ -21,10 +27,17 @@ struct ViolationOptions {
   double threshold = 0.3;      // v_thr: relative deviation for a violation
   int consecutive_limit = 5;   // s_thr: violations in a row => context change
   std::size_t min_history = 3; // observations needed before judging
+  /// Registry receiving the detector's counters (core.violation.*);
+  /// nullptr means obs::default_registry().
+  obs::Registry* registry = nullptr;
 };
 
 class ViolationDetector {
  public:
+  /// Throws std::invalid_argument for a zero window, non-positive
+  /// threshold or consecutive limit, or min_history > window (the sliding
+  /// window caps at `window` entries, so a larger requirement could never
+  /// be met and detection would silently never fire).
   explicit ViolationDetector(const ViolationOptions& options = {});
 
   /// Feed one measurement. Returns true when a context change is declared
@@ -43,6 +56,13 @@ class ViolationDetector {
   util::SlidingWindow history_;
   int consecutive_ = 0;
   bool last_violation_ = false;
+  // Telemetry handles resolved against opt_.registry at construction (the
+  // registration lookup is mutex-guarded; updates are relaxed atomics, so
+  // detectors owned by concurrent pool tasks are safe).
+  obs::Counter* checks_ = nullptr;
+  obs::Counter* violations_ = nullptr;
+  obs::Counter* context_changes_ = nullptr;
+  obs::Gauge* consecutive_gauge_ = nullptr;
 };
 
 }  // namespace rac::core

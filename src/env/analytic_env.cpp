@@ -57,6 +57,15 @@ AnalyticEnv::AnalyticEnv(const SystemContext& context,
                          const AnalyticEnvOptions& options)
     : ctx_(context), opt_(options), rng_(options.seed) {}
 
+std::unique_ptr<Environment> AnalyticEnv::clone_with_seed(
+    std::uint64_t seed) const {
+  AnalyticEnvOptions options = opt_;
+  // Mix in this environment's own seed so two base environments that get
+  // the same task seed still draw distinct noise.
+  options.seed = util::derive_seed(opt_.seed, seed);
+  return std::make_unique<AnalyticEnv>(ctx_, options);
+}
+
 PerfSample AnalyticEnv::measure(const Configuration& configuration) {
   static obs::Counter& c_measurements =
       obs::default_registry().counter("env.analytic.measurements");

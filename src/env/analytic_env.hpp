@@ -79,6 +79,12 @@ class AnalyticEnv : public Environment {
   void set_context(const SystemContext& context) override { ctx_ = context; }
   SystemContext context() const override { return ctx_; }
 
+  /// The model is pure apart from its noise Rng, so independent clones are
+  /// safe to measure concurrently (one clone per pool task).
+  bool thread_safe() const override { return true; }
+  std::unique_ptr<Environment> clone_with_seed(
+      std::uint64_t seed) const override;
+
   /// Deterministic model evaluation (no measurement noise).
   PerfSample evaluate(const config::Configuration& configuration,
                       ModelDiagnostics* diagnostics = nullptr) const;

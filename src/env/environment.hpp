@@ -12,6 +12,9 @@
 //     substrate.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "config/configuration.hpp"
 #include "env/context.hpp"
 
@@ -35,6 +38,21 @@ class Environment {
   virtual void set_context(const SystemContext& context) = 0;
 
   virtual SystemContext context() const = 0;
+
+  /// Reentrancy contract for the worker pool: true when `clone_with_seed`
+  /// returns independent copies that may be measured concurrently from
+  /// multiple threads. The fast model-based environments opt in; the
+  /// discrete-event simulator (heavyweight mutable state) does not.
+  virtual bool thread_safe() const { return false; }
+
+  /// Independent copy of this environment (same context and mechanism
+  /// constants) whose measurement-noise stream is reseeded from `seed`.
+  /// Implementations advertising thread_safe() must return non-null;
+  /// the default returns nullptr (cloning unsupported).
+  virtual std::unique_ptr<Environment> clone_with_seed(
+      std::uint64_t /*seed*/) const {
+    return nullptr;
+  }
 };
 
 }  // namespace rac::env

@@ -1,0 +1,30 @@
+// Registry-backed instrumentation for util::ThreadPool, plus the
+// process-wide shared pool.
+//
+// The pool itself lives in util (below obs in the layering); obs wires its
+// telemetry callbacks into the metrics registry and owns the shared
+// instance every higher layer (core, bench) fans out on.
+#pragma once
+
+#include "util/thread_pool.hpp"
+
+namespace rac::obs {
+
+class Registry;
+
+/// Telemetry callbacks recording into `registry`:
+///   util.pool.queue_depth  (gauge)     pending tasks after push/pop
+///   util.pool.task_us      (histogram) per-task wall-clock latency
+///   util.pool.tasks        (counter)   completed tasks
+util::PoolTelemetry pool_telemetry(Registry& registry);
+
+/// The process-wide worker pool: default_thread_count() threads (i.e. the
+/// RAC_THREADS environment variable, hardware_concurrency when unset;
+/// RAC_THREADS=1 spawns no workers and runs everything inline), telemetry
+/// wired into the default registry, and `util.pool.threads` (gauge) set to
+/// its size. Deliberately never destroyed: joining workers during static
+/// destruction would race the teardown of the registry cells the telemetry
+/// writes to.
+util::ThreadPool& shared_pool();
+
+}  // namespace rac::obs

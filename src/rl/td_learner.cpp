@@ -14,7 +14,7 @@ namespace rac::rl {
 TdResult batch_train(QTable& table,
                      std::span<const config::Configuration> start_states,
                      const RewardFn& reward, const TdParams& params,
-                     util::Rng& rng) {
+                     util::Rng& rng, obs::Registry* registry) {
   if (!reward) throw std::invalid_argument("batch_train: empty reward fn");
   if (params.alpha <= 0.0 || params.alpha > 1.0) {
     throw std::invalid_argument("batch_train: alpha outside (0, 1]");
@@ -45,17 +45,19 @@ TdResult batch_train(QTable& table,
     return r;
   };
 
-  // Telemetry handles (resolved once per process) and local accumulators:
-  // the inner loop runs millions of backups per experiment, so counts are
-  // folded into the registry once per batch, not per update.
-  auto& registry = obs::default_registry();
-  static obs::Counter& c_runs = registry.counter("rl.td.runs");
-  static obs::Counter& c_sweeps = registry.counter("rl.td.sweeps");
-  static obs::Counter& c_backups = registry.counter("rl.td.backups");
-  static obs::Counter& c_converged = registry.counter("rl.td.converged");
-  static obs::Gauge& g_error = registry.gauge("rl.td.last_error");
-  static obs::Histogram& h_train =
-      registry.histogram("rl.td.batch_train_us", obs::latency_us_bounds());
+  // Telemetry handles (resolved once per batch against the injected
+  // registry) and local accumulators: the inner loop runs millions of
+  // backups per experiment, so counts are folded into the registry once
+  // per batch, not per update.
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::default_registry();
+  obs::Counter& c_runs = reg.counter("rl.td.runs");
+  obs::Counter& c_sweeps = reg.counter("rl.td.sweeps");
+  obs::Counter& c_backups = reg.counter("rl.td.backups");
+  obs::Counter& c_converged = reg.counter("rl.td.converged");
+  obs::Gauge& g_error = reg.gauge("rl.td.last_error");
+  obs::Histogram& h_train =
+      reg.histogram("rl.td.batch_train_us", obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_train);
   std::uint64_t backups = 0;
 

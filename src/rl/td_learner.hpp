@@ -30,6 +30,10 @@
 #include "rl/qtable.hpp"
 #include "util/rng.hpp"
 
+namespace rac::obs {
+class Registry;
+}  // namespace rac::obs
+
 namespace rac::rl {
 
 /// Reward of *entering* a state (the paper's r = SLA - perf, normalized).
@@ -51,9 +55,13 @@ struct TdResult {
 };
 
 /// Run Algorithm 1 over `start_states`, updating `table` in place.
+/// `registry` receives the learner's rl.td.* telemetry; nullptr means
+/// obs::default_registry(). Handles are resolved per call (the lookup is
+/// mutex-guarded), so concurrent pool tasks may train against different
+/// registries safely.
 TdResult batch_train(QTable& table,
                      std::span<const config::Configuration> start_states,
                      const RewardFn& reward, const TdParams& params,
-                     util::Rng& rng);
+                     util::Rng& rng, obs::Registry* registry = nullptr);
 
 }  // namespace rac::rl

@@ -13,6 +13,14 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // Two mixing rounds so adjacent indices land far apart even for small
+  // human-chosen base seeds.
+  std::uint64_t state = base ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  splitmix64(state);
+  return splitmix64(state);
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

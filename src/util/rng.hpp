@@ -17,6 +17,12 @@ namespace rac::util {
 /// SplitMix64 step: used for seeding and as a cheap stateless mixer.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Deterministic per-task seed: mixes `base` with `index` so parallel work
+/// can draw from independent, reproducible streams. Results depend only on
+/// the two inputs -- never on thread count or execution order -- which is
+/// what makes the pool's fan-out bit-identical to a serial run.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

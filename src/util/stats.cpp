@@ -1,10 +1,10 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 namespace rac::util {
 
@@ -54,8 +54,10 @@ double RunningStats::min() const noexcept { return n_ == 0 ? 0.0 : min_; }
 
 double RunningStats::max() const noexcept { return n_ == 0 ? 0.0 : max_; }
 
-Ewma::Ewma(double alpha) noexcept : alpha_(alpha) {
-  assert(alpha > 0.0 && alpha <= 1.0);
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    throw std::invalid_argument("Ewma: alpha outside (0, 1]");
+  }
 }
 
 void Ewma::add(double x) noexcept {
@@ -73,7 +75,9 @@ void Ewma::reset() noexcept {
 }
 
 SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
-  assert(capacity > 0);
+  if (capacity == 0) {
+    throw std::invalid_argument("SlidingWindow: zero capacity");
+  }
 }
 
 void SlidingWindow::add(double x) {
@@ -98,8 +102,12 @@ double SlidingWindow::max() const noexcept {
 }
 
 double percentile(std::span<const double> samples, double p) {
-  assert(!samples.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p outside [0, 100]");
+  }
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
@@ -118,8 +126,12 @@ double mean_of(std::span<const double> samples) noexcept {
 
 double r_squared(std::span<const double> observed,
                  std::span<const double> predicted) {
-  assert(observed.size() == predicted.size());
-  assert(!observed.empty());
+  if (observed.size() != predicted.size()) {
+    throw std::invalid_argument("r_squared: size mismatch");
+  }
+  if (observed.empty()) {
+    throw std::invalid_argument("r_squared: empty sample set");
+  }
   const double obs_mean = mean_of(observed);
   double ss_res = 0.0;
   double ss_tot = 0.0;

@@ -38,8 +38,9 @@ class RunningStats {
 /// Exponentially weighted moving average.
 class Ewma {
  public:
-  /// `alpha` in (0, 1]: weight of the newest sample.
-  explicit Ewma(double alpha) noexcept;
+  /// `alpha` in (0, 1]: weight of the newest sample. Throws
+  /// std::invalid_argument outside that range.
+  explicit Ewma(double alpha);
 
   void add(double x) noexcept;
   bool empty() const noexcept { return !initialized_; }
@@ -57,6 +58,8 @@ class Ewma {
 /// response time against the mean of the last n measurements.
 class SlidingWindow {
  public:
+  /// Throws std::invalid_argument for a zero capacity (such a window
+  /// would silently drop every sample).
   explicit SlidingWindow(std::size_t capacity);
 
   void add(double x);
@@ -78,12 +81,14 @@ class SlidingWindow {
 
 /// Percentile of a sample set (linear interpolation between order
 /// statistics). `p` in [0, 100]. The input span is copied and sorted.
+/// Throws std::invalid_argument for an empty span or out-of-range `p`.
 double percentile(std::span<const double> samples, double p);
 
 /// Arithmetic mean of a span; 0 for an empty span.
 double mean_of(std::span<const double> samples) noexcept;
 
-/// Coefficient of determination of predictions vs observations.
+/// Coefficient of determination of predictions vs observations. Throws
+/// std::invalid_argument when the spans are empty or differ in length.
 double r_squared(std::span<const double> observed,
                  std::span<const double> predicted);
 

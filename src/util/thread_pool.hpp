@@ -1,0 +1,103 @@
+// Fixed-size worker pool for embarrassingly-parallel fan-out.
+//
+// The expensive phases of the reproduction -- Algorithm-2 policy
+// initialization per context and the bench harnesses' multi-agent
+// comparisons -- are independent tasks over independent environments, so a
+// plain fork-join pool (no work stealing) is enough. Determinism is the
+// design constraint: `parallel_for` decomposes work by index, results are
+// written to per-index slots, and callers derive any randomness from
+// (base_seed, task_index) via `derive_seed`, so output is bit-identical at
+// every thread count.
+//
+// Nested-submit safety: a task running on a pool worker may itself call
+// `parallel_for` / `parallel_map`; the nested region runs inline on that
+// worker (same index order) instead of deadlocking on a full pool. A pool
+// of size 1 spawns no threads at all and always runs inline -- the exact
+// serial path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rac::util {
+
+/// Worker count requested via the RAC_THREADS environment variable;
+/// hardware_concurrency when unset or unparsable (minimum 1).
+std::size_t default_thread_count();
+
+/// Optional telemetry callbacks (wired to the metrics registry by
+/// obs::pool_telemetry). Both may be empty; they are invoked from worker
+/// threads and must be thread-safe.
+struct PoolTelemetry {
+  /// Queue depth after every enqueue batch / dequeue.
+  std::function<void(std::size_t)> queue_depth;
+  /// Wall-clock latency of every completed task, in microseconds.
+  std::function<void(double)> task_us;
+};
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 means default_thread_count(). A pool of size 1 spawns
+  /// no worker threads.
+  explicit ThreadPool(std::size_t threads = 0, PoolTelemetry telemetry = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return threads_; }
+
+  /// Invoke `body(i)` for every i in [0, n) and block until all complete.
+  /// Every task runs exactly once even if another throws; the exception of
+  /// the lowest-index failing task is rethrown (deterministically) after
+  /// the region drains. Runs inline (index order, no handoff) when the
+  /// pool has one thread, n <= 1, or the caller is itself a pool worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// parallel_for that collects `body(i)` into slot i of the result (the
+  /// result type must be default-constructible). Output order == input
+  /// order regardless of scheduling.
+  template <typename F>
+  auto parallel_map(std::size_t n, F&& body)
+      -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+    std::vector<std::invoke_result_t<F&, std::size_t>> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = body(i); });
+    return out;
+  }
+
+  /// True when the calling thread is a worker of any ThreadPool (used for
+  /// the nested-submit inline fallback).
+  static bool on_worker_thread() noexcept;
+
+ private:
+  // Shared bookkeeping of one parallel_for call.
+  struct Region {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t remaining = 0;             // guarded by mutex
+    std::vector<std::exception_ptr> errors;  // one slot per task index
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+
+  void worker_loop();
+  void run_task(Region& region, std::size_t index);
+  void run_inline(std::size_t n, const std::function<void(std::size_t)>& body);
+  static void rethrow_first(const std::vector<std::exception_ptr>& errors);
+
+  std::size_t threads_;
+  PoolTelemetry telemetry_;
+  std::mutex mutex_;
+  std::condition_variable work_;
+  std::deque<std::pair<Region*, std::size_t>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace rac::util

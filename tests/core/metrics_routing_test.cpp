@@ -1,0 +1,98 @@
+// Regression tests for telemetry routing. The component metrics in the TD
+// learner, the RAC agent, the violation detector and the policy
+// initializer used to be function-local statics pinned to
+// obs::default_registry(): a caller-supplied registry (RunOptions-style
+// injection) never received them. Every component now resolves its handles
+// against the injected registry; these tests drive each one with a private
+// registry and verify (a) the private registry sees the counts and (b) the
+// default registry does not move.
+#include <gtest/gtest.h>
+
+#include "core/policy_init.hpp"
+#include "core/rac_agent.hpp"
+#include "core/violation.hpp"
+#include "env/analytic_env.hpp"
+#include "obs/metrics.hpp"
+#include "rl/td_learner.hpp"
+#include "util/rng.hpp"
+
+namespace rac::core {
+namespace {
+
+using config::Configuration;
+using env::AnalyticEnv;
+
+std::uint64_t default_count(const std::string& name) {
+  return obs::default_registry().counter(name).value();
+}
+
+TEST(MetricsRouting, ViolationDetectorUsesInjectedRegistry) {
+  obs::Registry mine;
+  const std::uint64_t before = default_count("core.violation.pvar_checks");
+  ViolationOptions opt;
+  opt.registry = &mine;
+  ViolationDetector detector(opt);
+  for (int i = 0; i < 20; ++i) detector.observe(500.0);
+  EXPECT_GT(mine.counter("core.violation.pvar_checks").value(), 0u);
+  EXPECT_EQ(default_count("core.violation.pvar_checks"), before);
+}
+
+TEST(MetricsRouting, BatchTrainUsesInjectedRegistry) {
+  obs::Registry mine;
+  const std::uint64_t before = default_count("rl.td.runs");
+  rl::QTable table;
+  const std::vector<Configuration> starts = {Configuration::defaults()};
+  rl::TdParams params;
+  params.max_sweeps = 3;
+  util::Rng rng(1);
+  rl::batch_train(
+      table, starts, [](const Configuration&) { return 0.5; }, params, rng,
+      &mine);
+  EXPECT_EQ(mine.counter("rl.td.runs").value(), 1u);
+  EXPECT_GT(mine.counter("rl.td.backups").value(), 0u);
+  EXPECT_EQ(default_count("rl.td.runs"), before);
+}
+
+TEST(MetricsRouting, RacAgentUsesInjectedRegistry) {
+  obs::Registry mine;
+  const std::uint64_t decisions_before = default_count("core.rac.decisions");
+  const std::uint64_t td_before = default_count("rl.td.runs");
+  RacOptions opt;
+  opt.registry = &mine;
+  opt.online_td.max_sweeps = 3;
+  RacAgent agent(opt, InitialPolicyLibrary{});
+  for (int i = 0; i < 5; ++i) {
+    const Configuration applied = agent.decide();
+    agent.observe(applied, {500.0, 25.0});
+  }
+  EXPECT_EQ(mine.counter("core.rac.decisions").value(), 5u);
+  // Online retraining inherits the agent's registry.
+  EXPECT_GT(mine.counter("rl.td.runs").value(), 0u);
+  // The detector inherits it too (warm-up passes after min_history).
+  EXPECT_GT(mine.counter("core.violation.pvar_checks").value(), 0u);
+  EXPECT_EQ(default_count("core.rac.decisions"), decisions_before);
+  EXPECT_EQ(default_count("rl.td.runs"), td_before);
+}
+
+TEST(MetricsRouting, PolicyInitUsesInjectedRegistry) {
+  obs::Registry mine;
+  const std::uint64_t policies_before =
+      default_count("core.policy_init.policies");
+  const std::uint64_t td_before = default_count("rl.td.runs");
+  env::AnalyticEnvOptions env_opt;
+  env_opt.noise_sigma = 0.0;
+  AnalyticEnv env({workload::MixType::kShopping, env::VmLevel::kLevel1},
+                  env_opt);
+  PolicyInitOptions opt;
+  opt.offline_td.max_sweeps = 30;
+  opt.registry = &mine;
+  learn_initial_policy(env, opt);
+  EXPECT_EQ(mine.counter("core.policy_init.policies").value(), 1u);
+  EXPECT_GT(mine.counter("core.policy_init.offline_samples").value(), 0u);
+  EXPECT_EQ(mine.counter("rl.td.runs").value(), 1u);
+  EXPECT_EQ(default_count("core.policy_init.policies"), policies_before);
+  EXPECT_EQ(default_count("rl.td.runs"), td_before);
+}
+
+}  // namespace
+}  // namespace rac::core

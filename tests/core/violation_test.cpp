@@ -103,5 +103,25 @@ TEST(ViolationDetector, RejectsBadOptions) {
   EXPECT_THROW(ViolationDetector{bad}, std::invalid_argument);
 }
 
+// Regression: min_history > window used to be accepted, but the sliding
+// window never holds more than `window` entries, so every observation
+// stayed in the warm-up branch and detection silently never fired.
+TEST(ViolationDetector, RejectsMinHistoryLargerThanWindow) {
+  ViolationOptions bad;
+  bad.window = 5;
+  bad.min_history = 6;
+  EXPECT_THROW(ViolationDetector{bad}, std::invalid_argument);
+}
+
+TEST(ViolationDetector, MinHistoryEqualToWindowStillFires) {
+  ViolationOptions opt;  // paper constants: n=10, v_thr=0.3, s_thr=5
+  opt.min_history = opt.window;  // boundary: reachable exactly when full
+  ViolationDetector d(opt);
+  for (int i = 0; i < 15; ++i) EXPECT_FALSE(d.observe(300.0));
+  bool fired = false;
+  for (int i = 0; i < 8 && !fired; ++i) fired = d.observe(1500.0);
+  EXPECT_TRUE(fired);
+}
+
 }  // namespace
 }  // namespace rac::core

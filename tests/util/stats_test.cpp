@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace rac::util {
@@ -99,6 +100,17 @@ TEST(SlidingWindow, EvictsOldest) {
   EXPECT_DOUBLE_EQ(w.back(), 10.0);
 }
 
+TEST(Ewma, RejectsAlphaOutsideUnitInterval) {
+  EXPECT_THROW(Ewma{0.0}, std::invalid_argument);
+  EXPECT_THROW(Ewma{-0.1}, std::invalid_argument);
+  EXPECT_THROW(Ewma{1.5}, std::invalid_argument);
+  EXPECT_NO_THROW(Ewma{1.0});  // alpha == 1 means "track the last sample"
+}
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindow{0}, std::invalid_argument);
+}
+
 TEST(SlidingWindow, ResetClears) {
   SlidingWindow w(2);
   w.add(5.0);
@@ -125,6 +137,13 @@ TEST(Percentile, SingleSample) {
   EXPECT_DOUBLE_EQ(percentile(v, 99.0), 42.0);
 }
 
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 100.5), std::invalid_argument);
+}
+
 TEST(MeanOf, HandlesEmptyAndValues) {
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
   const std::vector<double> v = {1.0, 2.0, 6.0};
@@ -140,6 +159,13 @@ TEST(RSquared, MeanPredictorIsZero) {
   const std::vector<double> y = {1.0, 2.0, 3.0};
   const std::vector<double> p = {2.0, 2.0, 2.0};
   EXPECT_NEAR(r_squared(y, p), 0.0, 1e-12);
+}
+
+TEST(RSquared, RejectsMismatchedOrEmptyInputs) {
+  const std::vector<double> y = {1.0, 2.0};
+  const std::vector<double> p = {1.0};
+  EXPECT_THROW(r_squared(y, p), std::invalid_argument);
+  EXPECT_THROW(r_squared({}, {}), std::invalid_argument);
 }
 
 }  // namespace
