@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: configure with warnings-as-errors, build everything, run
-# the full test suite. Usage: scripts/check.sh [build-dir]
+# rac-lint over src/, then the full test suite.
+# Usage: scripts/check.sh [build-dir]
 #
-# Set RAC_TSAN=1 to additionally build a ThreadSanitizer configuration
-# (-DRAC_TSAN=ON) in <build-dir>-tsan and run the concurrency suites
-# (ThreadPool unit tests + the parallel determinism golden tests) under it.
+# Optional phases (each builds its own <build-dir>-<suffix> tree):
+#   RAC_TSAN=1  ThreadSanitizer (-DRAC_TSAN=ON); runs the suites labeled
+#               `concurrency` (thread pool + parallel determinism goldens).
+#   RAC_SAN=1   AddressSanitizer + UBSan (-DRAC_ASAN=ON -DRAC_UBSAN=ON);
+#               runs the FULL test suite under both.
+#   RAC_AUDIT=1 heavyweight invariant audits (-DRAC_AUDIT=ON); runs the
+#               full suite with RAC_AUDIT blocks live.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,11 +17,32 @@ BUILD_DIR="${1:-build-check}"
 
 cmake -B "$BUILD_DIR" -S . -DRAC_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Lint first: it is the cheapest phase and its findings are the easiest to
+# act on. The same gate runs as the `rac_lint` ctest, so plain `ctest`
+# catches violations too; running it here keeps the failure message at the
+# top of a CI log.
+"$BUILD_DIR"/tools/lint/rac_lint --root . src
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 if [[ "${RAC_TSAN:-0}" == "1" ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DRAC_WERROR=ON -DRAC_TSAN=ON
-  cmake --build "$TSAN_DIR" -j "$(nproc)" --target util_tests parallel_tests
-  ctest --test-dir "$TSAN_DIR" --output-on-failure -R 'ThreadPool|DeriveSeed|parallel_tests'
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target concurrency_tests parallel_tests
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency
+fi
+
+if [[ "${RAC_SAN:-0}" == "1" ]]; then
+  SAN_DIR="${BUILD_DIR}-san"
+  cmake -B "$SAN_DIR" -S . -DRAC_WERROR=ON -DRAC_ASAN=ON -DRAC_UBSAN=ON
+  cmake --build "$SAN_DIR" -j "$(nproc)"
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "${RAC_AUDIT:-0}" == "1" ]]; then
+  AUDIT_DIR="${BUILD_DIR}-audit"
+  cmake -B "$AUDIT_DIR" -S . -DRAC_WERROR=ON -DRAC_AUDIT=ON
+  cmake --build "$AUDIT_DIR" -j "$(nproc)"
+  ctest --test-dir "$AUDIT_DIR" --output-on-failure -j "$(nproc)"
 fi

@@ -1,6 +1,6 @@
 #include "config/params.hpp"
 
-#include <cassert>
+#include "util/contracts.hpp"
 
 namespace rac::config {
 
@@ -58,7 +58,7 @@ std::array<ParamId, 2> group_members(ParamGroup group) noexcept {
     case ParamGroup::kSpareHigh:
       return {ParamId::kMaxSpareServers, ParamId::kMaxSpareThreads};
   }
-  assert(false && "unreachable");
+  RAC_INVARIANT(false, "group_members: corrupt ParamGroup value");
   return {ParamId::kMaxClients, ParamId::kMaxThreads};
 }
 

@@ -1,10 +1,11 @@
 #include "config/space.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace rac::config {
 
@@ -19,6 +20,7 @@ ConfigSpace::ConfigSpace(int coarse_levels) : coarse_levels_(coarse_levels) {
   if (coarse_levels < 2) {
     throw std::invalid_argument("ConfigSpace: need at least 2 coarse levels");
   }
+  if constexpr (util::kAuditEnabled) validate_catalog();
 }
 
 std::vector<Action> ConfigSpace::all_actions() {
@@ -134,6 +136,29 @@ GroupFractions ConfigSpace::nearest_coarse_fractions(
 
 Configuration ConfigSpace::nearest_coarse(const Configuration& c) const {
   return expand(nearest_coarse_fractions(c));
+}
+
+void validate_spec(const ParamSpec& spec) {
+  RAC_EXPECT(spec.min < spec.max, "ParamSpec: inverted or empty bounds");
+  RAC_EXPECT(spec.fine_step > 0, "ParamSpec: non-positive fine step");
+  RAC_EXPECT(spec.fine_step <= spec.max - spec.min,
+             "ParamSpec: fine step wider than the range");
+  RAC_EXPECT(spec.default_value >= spec.min && spec.default_value <= spec.max,
+             "ParamSpec: default outside bounds");
+  RAC_EXPECT(!spec.name.empty(), "ParamSpec: empty name");
+}
+
+void validate_catalog() {
+  for (const ParamSpec& s : catalog()) {
+    validate_spec(s);
+    RAC_EXPECT(&spec(s.id) == &s, "catalog: spec not indexed by its own id");
+  }
+  for (std::size_t g = 0; g < kNumGroups; ++g) {
+    for (ParamId member : group_members(static_cast<ParamGroup>(g))) {
+      RAC_EXPECT(spec(member).group == static_cast<ParamGroup>(g),
+                 "catalog: group membership inconsistent with spec.group");
+    }
+  }
 }
 
 Configuration ConfigSpace::random_fine(util::Rng& rng) {

@@ -127,4 +127,14 @@ class ConfigSpace {
   int coarse_levels_;
 };
 
+/// Contract-check one parameter spec: ordered bounds, positive step no
+/// wider than the range, default inside the bounds. Fails via RAC_EXPECT.
+void validate_spec(const ParamSpec& spec);
+
+/// validate_spec over the whole catalog, plus group-membership consistency
+/// (each member's group field matches the group it is listed under). Run
+/// automatically at ConfigSpace construction in RAC_AUDIT builds; callable
+/// directly by tests and tools in any build.
+void validate_catalog();
+
 }  // namespace rac::config

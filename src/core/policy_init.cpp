@@ -33,8 +33,7 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
     throw std::invalid_argument("learn_initial_policy: bad sample count");
   }
 
-  obs::Registry& registry =
-      options.registry != nullptr ? *options.registry : obs::default_registry();
+  obs::Registry& registry = obs::registry_or_default(options.registry);
   obs::Counter& c_policies = registry.counter("core.policy_init.policies");
   obs::Counter& c_samples =
       registry.counter("core.policy_init.offline_samples");

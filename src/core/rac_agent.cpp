@@ -27,8 +27,7 @@ RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
       detector_(with_registry(options.violation, options.registry)),
       online_policy_(options.online_epsilon),
       rng_(options.seed) {
-  obs::Registry& reg =
-      opt_.registry != nullptr ? *opt_.registry : obs::default_registry();
+  obs::Registry& reg = obs::registry_or_default(opt_.registry);
   decisions_ = &reg.counter("core.rac.decisions");
   explorations_ = &reg.counter("core.rac.explore_actions");
   policy_switch_count_ = &reg.counter("core.rac.policy_switches");

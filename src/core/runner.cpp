@@ -55,8 +55,7 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
     }
   }
 
-  obs::Registry& registry =
-      options.registry != nullptr ? *options.registry : obs::default_registry();
+  obs::Registry& registry = obs::registry_or_default(options.registry);
   obs::Counter& c_iterations = registry.counter("core.runner.iterations");
   obs::Counter& c_traced = registry.counter("core.runner.trace_events");
   obs::Histogram& h_iteration =

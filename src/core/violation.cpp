@@ -29,8 +29,7 @@ const ViolationOptions& validated(const ViolationOptions& options) {
 
 ViolationDetector::ViolationDetector(const ViolationOptions& options)
     : opt_(validated(options)), history_(options.window) {
-  obs::Registry& registry =
-      opt_.registry != nullptr ? *opt_.registry : obs::default_registry();
+  obs::Registry& registry = obs::registry_or_default(opt_.registry);
   checks_ = &registry.counter("core.violation.pvar_checks");
   violations_ = &registry.counter("core.violation.violations");
   context_changes_ = &registry.counter("core.violation.context_changes");

@@ -1,7 +1,6 @@
 #include "env/analytic_env.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "obs/metrics.hpp"
@@ -67,27 +66,25 @@ std::unique_ptr<Environment> AnalyticEnv::clone_with_seed(
 }
 
 PerfSample AnalyticEnv::measure(const Configuration& configuration) {
-  static obs::Counter& c_measurements =
-      obs::default_registry().counter("env.analytic.measurements");
-  static obs::Counter& c_noise =
-      obs::default_registry().counter("env.analytic.noise_draws");
-  c_measurements.add(1);
+  // Resolved per call against the injected registry; function-local
+  // statics here would pin the counters to the first caller's registry.
+  obs::Registry& reg = obs::registry_or_default(opt_.registry);
+  reg.counter("env.analytic.measurements").add(1);
   PerfSample sample = evaluate(configuration);
   if (opt_.noise_sigma > 0.0) {
     sample.response_ms *= rng_.lognormal_unit(opt_.noise_sigma);
     sample.throughput_rps *= rng_.lognormal_unit(opt_.noise_sigma * 0.5);
-    c_noise.add(2);
+    reg.counter("env.analytic.noise_draws").add(2);
   }
   return sample;
 }
 
 PerfSample AnalyticEnv::evaluate(const Configuration& cfg,
                                  ModelDiagnostics* diagnostics) const {
-  static obs::Counter& c_evaluations =
-      obs::default_registry().counter("env.analytic.evaluations");
-  static obs::Histogram& h_evaluate = obs::default_registry().histogram(
-      "env.analytic.evaluate_us", obs::latency_us_bounds());
-  c_evaluations.add(1);
+  obs::Registry& reg = obs::registry_or_default(opt_.registry);
+  reg.counter("env.analytic.evaluations").add(1);
+  obs::Histogram& h_evaluate =
+      reg.histogram("env.analytic.evaluate_us", obs::latency_us_bounds());
   const obs::ScopedTimer eval_timer(&h_evaluate);
   const tiersim::SystemParams& P = opt_.system;
   const auto stats = workload::mix_stats(ctx_.mix);
@@ -205,6 +202,7 @@ PerfSample AnalyticEnv::evaluate(const Configuration& cfg,
     // app tier synchronously), so MaxClients caps the total in-flight
     // count -- modeled below via flow-equivalent aggregation.
     queueing::ClosedNetwork subnet(0.0);
+    subnet.set_registry(opt_.registry);
     {
       queueing::Station web_station;
       web_station.name = "web-vm";
@@ -236,6 +234,7 @@ PerfSample AnalyticEnv::evaluate(const Configuration& cfg,
     // shortage / burst terms) because keep-alive reuse lets most of the
     // flow bypass the accept queue.
     queueing::ClosedNetwork outer(Z);
+    outer.set_registry(opt_.registry);
     {
       queueing::Station fesc;
       fesc.name = "website";

@@ -32,6 +32,10 @@
 #include "tiersim/system_params.hpp"
 #include "util/rng.hpp"
 
+namespace rac::obs {
+class Registry;
+}
+
 namespace rac::env {
 
 struct AnalyticEnvOptions {
@@ -45,6 +49,8 @@ struct AnalyticEnvOptions {
   int fixed_point_iterations = 6;
   /// Fraction of the interval affected by bursts.
   double burst_prob = 0.30;
+  /// Metrics destination; nullptr means the process-wide default registry.
+  obs::Registry* registry = nullptr;
 };
 
 /// Model internals exposed for tests, calibration, and the experiment

@@ -16,15 +16,17 @@ void SimEnv::rebuild(const config::Configuration& configuration) {
   setup.app_vm = vm_spec(ctx_.level);
   setup.num_clients = opt_.num_clients;
   setup.seed = next_seed_++;
+  setup.registry = opt_.registry;
   system_ = std::make_unique<tiersim::ThreeTierSystem>(opt_.system, setup);
 }
 
 PerfSample SimEnv::measure(const config::Configuration& configuration) {
-  static obs::Counter& c_measurements =
-      obs::default_registry().counter("env.sim.measurements");
-  static obs::Histogram& h_measure = obs::default_registry().histogram(
-      "env.sim.measure_us", obs::latency_us_bounds());
-  c_measurements.add(1);
+  // Resolved per call against the injected registry; function-local
+  // statics here would pin the counters to the first caller's registry.
+  obs::Registry& reg = obs::registry_or_default(opt_.registry);
+  reg.counter("env.sim.measurements").add(1);
+  obs::Histogram& h_measure =
+      reg.histogram("env.sim.measure_us", obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_measure);
   if (system_ == nullptr) {
     rebuild(configuration);

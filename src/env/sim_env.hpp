@@ -21,6 +21,9 @@ struct SimEnvOptions {
   double measure_s = 240.0;  // observation window (paper: 5-minute interval)
   tiersim::SystemParams system{};
   std::uint64_t seed = 42;
+  /// Metrics destination (also forwarded to the simulator); nullptr means
+  /// the process-wide default registry.
+  obs::Registry* registry = nullptr;
 };
 
 class SimEnv : public Environment {

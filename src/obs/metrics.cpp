@@ -222,4 +222,8 @@ Registry& default_registry() {
   return registry;
 }
 
+Registry& registry_or_default(Registry* r) {
+  return r != nullptr ? *r : default_registry();
+}
+
 }  // namespace rac::obs

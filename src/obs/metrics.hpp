@@ -166,4 +166,12 @@ class Registry {
 /// The process-wide registry every built-in instrumentation point uses.
 Registry& default_registry();
 
+/// Resolve an injectable registry pointer: `r` if non-null, else the
+/// process-wide default. Library code outside src/obs/ must route every
+/// fallback through this helper rather than naming default_registry()
+/// directly (rac-lint rule `default-registry`): direct references are how
+/// components end up pinned to the global registry and silently ignore an
+/// injected one.
+Registry& registry_or_default(Registry* r);
+
 }  // namespace rac::obs

@@ -1,35 +1,13 @@
 #include "queueing/mva.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/contracts.hpp"
 
 namespace rac::queueing {
-
-namespace {
-
-// The MVA recursion is the analytic model's inner loop; count solves and
-// population-recursion steps so perf work can show where the time goes.
-obs::Counter& solve_counter() {
-  static obs::Counter& c = obs::default_registry().counter("queueing.mva.solves");
-  return c;
-}
-
-obs::Counter& curve_counter() {
-  static obs::Counter& c =
-      obs::default_registry().counter("queueing.mva.throughput_curves");
-  return c;
-}
-
-obs::Counter& step_counter() {
-  static obs::Counter& c =
-      obs::default_registry().counter("queueing.mva.recursion_steps");
-  return c;
-}
-
-}  // namespace
 
 Station make_queueing_station(std::string name, double service_rate,
                               double visit_ratio) {
@@ -90,8 +68,13 @@ MvaResult ClosedNetwork::solve(int population) const {
         "ClosedNetwork::solve: empty network with zero think time");
   }
 
-  solve_counter().add(1);
-  step_counter().add(static_cast<std::uint64_t>(population));
+  // The MVA recursion is the analytic model's inner loop; count solves and
+  // population-recursion steps so perf work can show where the time goes.
+  // One registry lookup per solve (the recursion itself is O(N^2 * S)).
+  obs::Registry& reg = obs::registry_or_default(registry_);
+  reg.counter("queueing.mva.solves").add(1);
+  reg.counter("queueing.mva.recursion_steps")
+      .add(static_cast<std::uint64_t>(population));
 
   const std::size_t num_s = stations_.size();
   MvaResult result;
@@ -154,6 +137,19 @@ MvaResult ClosedNetwork::solve(int population) const {
     sr.queue_length = throughput * residence[s];
     sr.utilization = 1.0 - marginal[s][0];
   }
+  if constexpr (util::kAuditEnabled) {
+    RAC_AUDIT(std::isfinite(result.throughput) && result.throughput >= 0.0,
+              "MVA solve: non-finite or negative throughput");
+    RAC_AUDIT(std::isfinite(result.response_time) &&
+                  result.response_time >= 0.0,
+              "MVA solve: non-finite or negative response time");
+    for (const auto& sr : result.stations) {
+      RAC_AUDIT(std::isfinite(sr.queue_length) && sr.queue_length >= 0.0,
+                "MVA solve: negative station queue length");
+      RAC_AUDIT(sr.utilization >= 0.0 && sr.utilization <= 1.0 + 1e-9,
+                "MVA solve: utilization outside [0, 1]");
+    }
+  }
   return result;
 }
 
@@ -164,8 +160,10 @@ std::vector<double> ClosedNetwork::throughput_curve(int max_population) const {
   if (stations_.empty()) {
     throw std::invalid_argument("throughput_curve: no stations");
   }
-  curve_counter().add(1);
-  step_counter().add(static_cast<std::uint64_t>(max_population));
+  obs::Registry& reg = obs::registry_or_default(registry_);
+  reg.counter("queueing.mva.throughput_curves").add(1);
+  reg.counter("queueing.mva.recursion_steps")
+      .add(static_cast<std::uint64_t>(max_population));
   const std::size_t num_s = stations_.size();
   auto rate_at = [&](std::size_t s, int j) -> double {
     const auto& rates = stations_[s].rates;
@@ -202,6 +200,30 @@ std::vector<double> ClosedNetwork::throughput_curve(int max_population) const {
         tail += p;
       }
       marginal[s][0] = std::max(0.0, 1.0 - tail);
+    }
+  }
+  if constexpr (util::kAuditEnabled) {
+    // X(n) is non-decreasing in n only when every station's service rate
+    // is non-decreasing in its local population. The web-system model
+    // deliberately violates that (per-job demand inflation at high
+    // admitted concurrency models thrashing, so mu(j) drops and X(n) may
+    // genuinely decline past saturation) -- audit monotonicity only for
+    // networks where it is a theorem. Allow a sliver of float slack so
+    // the audit flags model bugs, not roundoff.
+    const bool monotone_rates = std::all_of(
+        stations_.begin(), stations_.end(), [](const Station& s) {
+          return std::is_sorted(s.rates.begin(), s.rates.end());
+        });
+    if (monotone_rates) {
+      for (std::size_t i = 1; i < curve.size(); ++i) {
+        RAC_AUDIT(
+            curve[i] + 1e-9 * std::max(1.0, curve[i - 1]) >= curve[i - 1],
+            "MVA throughput_curve: throughput decreased with population");
+      }
+    }
+    for (double x : curve) {
+      RAC_AUDIT(std::isfinite(x) && x >= 0.0,
+                "MVA throughput_curve: non-finite or negative throughput");
     }
   }
   return curve;

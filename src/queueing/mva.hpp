@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+namespace rac::obs {
+class Registry;
+}
+
 namespace rac::queueing {
 
 /// A load-dependent queueing station. `rates[j-1]` is the aggregate service
@@ -90,9 +94,15 @@ class ClosedNetwork {
   /// equivalent to the subnetwork in any enclosing product-form model.
   std::vector<double> throughput_curve(int max_population) const;
 
+  /// Route this network's solve/step counters to `registry` (nullptr means
+  /// the process default). Handles are resolved per solve, so the setting
+  /// takes effect immediately.
+  void set_registry(obs::Registry* registry) noexcept { registry_ = registry; }
+
  private:
   double think_time_;
   std::vector<Station> stations_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace rac::queueing

@@ -1,6 +1,9 @@
 #include "rl/experience.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace rac::rl {
 
@@ -12,6 +15,8 @@ ExperienceStore::ExperienceStore(double blend) : blend_(blend) {
 
 void ExperienceStore::record(const config::Configuration& configuration,
                              double response_ms) {
+  RAC_EXPECT(std::isfinite(response_ms) && response_ms >= 0.0,
+             "ExperienceStore::record: non-finite or negative response time");
   auto& obs = store_[configuration];
   if (obs.count == 0) {
     obs.response_ms = response_ms;
@@ -19,6 +24,16 @@ void ExperienceStore::record(const config::Configuration& configuration,
     obs.response_ms += blend_ * (response_ms - obs.response_ms);
   }
   ++obs.count;
+  if constexpr (util::kAuditEnabled) {
+    // Replay validity: every stored entry must stay a finite blend of real
+    // measurements with a live observation count.
+    for (const auto& [cfg, entry] : store_) {
+      RAC_AUDIT(entry.count >= 1,
+                "ExperienceStore: entry with zero observation count");
+      RAC_AUDIT(std::isfinite(entry.response_ms) && entry.response_ms >= 0.0,
+                "ExperienceStore: stored response time went non-finite");
+    }
+  }
 }
 
 std::optional<double> ExperienceStore::response_ms(

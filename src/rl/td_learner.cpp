@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "rl/policy.hpp"
+#include "util/contracts.hpp"
 
 namespace rac::rl {
 
@@ -49,8 +50,7 @@ TdResult batch_train(QTable& table,
   // registry) and local accumulators: the inner loop runs millions of
   // backups per experiment, so counts are folded into the registry once
   // per batch, not per update.
-  obs::Registry& reg =
-      registry != nullptr ? *registry : obs::default_registry();
+  obs::Registry& reg = obs::registry_or_default(registry);
   obs::Counter& c_runs = reg.counter("rl.td.runs");
   obs::Counter& c_sweeps = reg.counter("rl.td.sweeps");
   obs::Counter& c_backups = reg.counter("rl.td.backups");
@@ -96,6 +96,20 @@ TdResult batch_train(QTable& table,
   c_backups.add(backups);
   if (result.converged) c_converged.add(1);
   g_error.set(result.final_error);
+
+  if constexpr (util::kAuditEnabled) {
+    // A single NaN reward poisons every value it backs up into; scan the
+    // whole table after the batch so the poisoning is caught at its source
+    // experiment, not intervals later as a mysteriously frozen policy.
+    for (const auto& state : table.states()) {
+      for (const config::Action a : actions) {
+        RAC_AUDIT(std::isfinite(table.q(state, a)),
+                  "batch_train: non-finite Q value after batch");
+      }
+    }
+    RAC_AUDIT(std::isfinite(result.final_error),
+              "batch_train: non-finite TD error");
+  }
   return result;
 }
 

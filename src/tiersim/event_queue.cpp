@@ -1,8 +1,9 @@
 #include "tiersim/event_queue.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "util/contracts.hpp"
 
 namespace rac::tiersim {
 
@@ -45,7 +46,7 @@ bool EventQueue::step() {
     EventFn fn = std::move(it->second);
     callbacks_.erase(it);
     --pending_count_;
-    assert(top.time >= now_);
+    RAC_INVARIANT(top.time >= now_, "EventQueue: virtual time went backwards");
     now_ = top.time;
     ++executed_;
     fn();

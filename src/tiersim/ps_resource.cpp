@@ -1,9 +1,10 @@
 #include "tiersim/ps_resource.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace rac::tiersim {
 
@@ -19,13 +20,13 @@ PsResource::PsResource(EventQueue& queue, int cores, SlowdownFn slowdown)
   last_update_ = queue_.now();
 }
 
-double PsResource::per_job_rate() const noexcept {
+double PsResource::per_job_rate() const {
   const int n = static_cast<int>(jobs_.size());
   if (n == 0) return 0.0;
   double rate = std::min(1.0, static_cast<double>(cores_) / n);
   if (slowdown_) {
     const double s = slowdown_(n);
-    assert(s >= 1.0);
+    RAC_EXPECT(s >= 1.0, "PsResource: slowdown factor below 1");
     rate /= s;
   }
   return rate;

@@ -68,7 +68,7 @@ class PsResource {
   double work_done_ = 0.0;
   mutable double job_seconds_ = 0.0;
 
-  double per_job_rate() const noexcept;
+  double per_job_rate() const;
   void advance();
   void reschedule();
   void on_completion_timer();

@@ -1,13 +1,13 @@
 #include "tiersim/web_system.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "util/contracts.hpp"
 
 namespace rac::tiersim {
 
@@ -25,6 +25,7 @@ struct ThreeTierSystem::Impl {
   VmSpec web_vm;
   VmSpec app_vm;
   int num_clients;
+  obs::Registry* registry;  // nullptr -> process default, resolved per use
 
   // ---- live configuration --------------------------------------------------
   Configuration cfg;
@@ -123,6 +124,7 @@ struct ThreeTierSystem::Impl {
         web_vm(setup.web_vm),
         app_vm(setup.app_vm),
         num_clients(setup.num_clients),
+        registry(setup.registry),
         cfg(setup.configuration),
         rng(setup.seed),
         web_cpu(q, setup.web_vm.vcpus,
@@ -205,7 +207,8 @@ struct ThreeTierSystem::Impl {
 
   void release_connection(int b) {
     auto& browser = browsers[static_cast<std::size_t>(b)];
-    assert(browser.has_connection);
+    RAC_INVARIANT(browser.has_connection,
+                  "release_connection: browser holds no connection");
     q.cancel(browser.keepalive_timer);
     browser.keepalive_timer = EventHandle{};
     browser.has_connection = false;
@@ -344,7 +347,8 @@ struct ThreeTierSystem::Impl {
   void keepalive_expired(int b) {
     auto& browser = browsers[static_cast<std::size_t>(b)];
     browser.keepalive_timer = EventHandle{};
-    assert(browser.has_connection);
+    RAC_INVARIANT(browser.has_connection,
+                  "keepalive_expired: browser holds no connection");
     browser.has_connection = false;
     --web_ka_held;
     drain_accept_queue();
@@ -505,13 +509,15 @@ Measurement ThreeTierSystem::run(double warmup_s, double measure_s) {
   if (warmup_s < 0.0 || measure_s <= 0.0) {
     throw std::invalid_argument("ThreeTierSystem::run: bad window");
   }
-  auto& registry = obs::default_registry();
-  static obs::Counter& c_intervals =
-      registry.counter("tiersim.measurement_intervals");
-  static obs::Counter& c_completed =
-      registry.counter("tiersim.completed_requests");
-  static obs::Counter& c_forks = registry.counter("tiersim.forks");
-  static obs::Histogram& h_interval =
+  // Handles are resolved per interval against the injected registry (an
+  // interval simulates seconds of virtual time; the name lookup is noise).
+  // Function-local statics here were the PR 2 metrics-routing bug class:
+  // they pin the counters to whichever registry the first caller used.
+  obs::Registry& registry = obs::registry_or_default(impl_->registry);
+  obs::Counter& c_intervals = registry.counter("tiersim.measurement_intervals");
+  obs::Counter& c_completed = registry.counter("tiersim.completed_requests");
+  obs::Counter& c_forks = registry.counter("tiersim.forks");
+  obs::Histogram& h_interval =
       registry.histogram("tiersim.interval_us", obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_interval);
 

@@ -38,6 +38,10 @@
 #include "workload/session.hpp"
 #include "workload/tpcw.hpp"
 
+namespace rac::obs {
+class Registry;
+}
+
 namespace rac::tiersim {
 
 struct SimSetup {
@@ -47,6 +51,8 @@ struct SimSetup {
   VmSpec app_vm{4, 4096.0};
   int num_clients = 400;
   std::uint64_t seed = 1;
+  /// Metrics destination; nullptr means the process-wide default registry.
+  obs::Registry* registry = nullptr;
 };
 
 /// Aggregate measurement over one observation window.

@@ -1,9 +1,10 @@
 #include "util/regression.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace rac::util {
 
@@ -126,13 +127,13 @@ Poly1D Poly1D::fit(std::span<const double> xs, std::span<const double> ys,
 }
 
 double Poly1D::predict(double x) const {
-  assert(fitted());
+  RAC_EXPECT(fitted(), "Poly1D::predict: model not fitted");
   return model_.predict(features(x));
 }
 
 double Poly1D::argmin(double lo, double hi, int samples) const {
-  assert(fitted());
-  assert(samples >= 2);
+  RAC_EXPECT(fitted(), "Poly1D::argmin: model not fitted");
+  RAC_EXPECT(samples >= 2, "Poly1D::argmin: need at least 2 samples");
   double best_x = lo;
   double best_y = std::numeric_limits<double>::infinity();
   for (int i = 0; i < samples; ++i) {
@@ -148,7 +149,7 @@ double Poly1D::argmin(double lo, double hi, int samples) const {
 }
 
 std::vector<double> QuadraticSurface::features(std::span<const double> x) const {
-  assert(x.size() == dim_);
+  RAC_EXPECT(x.size() == dim_, "QuadraticSurface::features: dim mismatch");
   std::vector<double> z(dim_);
   for (std::size_t i = 0; i < dim_; ++i) z[i] = (x[i] - means_[i]) / scales_[i];
   std::vector<double> phi;
@@ -215,7 +216,7 @@ QuadraticSurface QuadraticSurface::fit(std::span<const double> points,
 }
 
 double QuadraticSurface::predict(std::span<const double> x) const {
-  assert(fitted());
+  RAC_EXPECT(fitted(), "QuadraticSurface::predict: model not fitted");
   if (x.size() != dim_) {
     throw std::invalid_argument("QuadraticSurface::predict: dim mismatch");
   }

@@ -1,8 +1,9 @@
 #include "util/rng.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "util/contracts.hpp"
 
 namespace rac::util {
 
@@ -55,14 +56,14 @@ double Rng::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
 }
 
-int Rng::uniform_int(int lo, int hi) noexcept {
-  assert(lo <= hi);
+int Rng::uniform_int(int lo, int hi) {
+  RAC_EXPECT(lo <= hi, "uniform_int: inverted range");
   const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   return lo + static_cast<int>((*this)() % span);
 }
 
-double Rng::exponential(double mean) noexcept {
-  assert(mean > 0.0);
+double Rng::exponential(double mean) {
+  RAC_EXPECT(mean > 0.0, "exponential: non-positive mean");
   double u = uniform();
   // Guard against log(0).
   if (u <= 0.0) u = 0x1.0p-53;
@@ -95,10 +96,10 @@ double Rng::lognormal_unit(double sigma) noexcept {
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
-std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+std::size_t Rng::categorical(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) total += w;
-  assert(total > 0.0);
+  RAC_EXPECT(total > 0.0, "categorical: weights sum to zero");
   double x = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     x -= weights[i];

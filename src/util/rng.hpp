@@ -43,11 +43,12 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) noexcept;
 
-  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  int uniform_int(int lo, int hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi
+  /// (contract; RAC_EXPECT).
+  int uniform_int(int lo, int hi);
 
-  /// Exponentially distributed sample with the given mean (> 0).
-  double exponential(double mean) noexcept;
+  /// Exponentially distributed sample with the given mean (> 0; contract).
+  double exponential(double mean);
 
   /// Standard normal via Box-Muller (cached second value).
   double normal() noexcept;
@@ -63,8 +64,9 @@ class Rng {
   bool bernoulli(double p) noexcept;
 
   /// Sample an index from a discrete distribution given by non-negative
-  /// weights (need not be normalized; at least one must be positive).
-  std::size_t categorical(std::span<const double> weights) noexcept;
+  /// weights (need not be normalized; at least one must be positive --
+  /// contract).
+  std::size_t categorical(std::span<const double> weights);
 
   /// Fork an independent stream (seeded from this one).
   Rng split() noexcept;

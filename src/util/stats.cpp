@@ -141,7 +141,10 @@ double r_squared(std::span<const double> observed,
     ss_res += res * res;
     ss_tot += dev * dev;
   }
-  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  // Exact-zero checks are the point here: a constant observed series has
+  // no variance to explain, and only a bitwise-perfect prediction of it
+  // deserves R^2 = 1.
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;  // rac-lint: allow(float-eq)
   return 1.0 - ss_res / ss_tot;
 }
 

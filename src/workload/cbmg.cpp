@@ -1,6 +1,5 @@
 #include "workload/cbmg.hpp"
 
-#include <cassert>
 #include <cmath>
 
 namespace rac::workload {

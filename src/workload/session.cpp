@@ -1,8 +1,8 @@
 #include "workload/session.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "util/contracts.hpp"
 #include "workload/cbmg.hpp"
 
 namespace rac::workload {
@@ -13,7 +13,7 @@ SessionGenerator::SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg)
 int SessionGenerator::draw_session_length() {
   // Geometric with the profile's mean, at least 1 interaction.
   const double mean = profile_.session_length_mean;
-  assert(mean >= 1.0);
+  RAC_EXPECT(mean >= 1.0, "draw_session_length: mean below 1 interaction");
   const double p = 1.0 / mean;
   int length = 1;
   while (!rng_.bernoulli(p)) ++length;

@@ -1,6 +1,5 @@
 #include "workload/tpcw.hpp"
 
-#include <cassert>
 
 namespace rac::workload {
 

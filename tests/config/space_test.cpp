@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace rac::config {
@@ -169,6 +170,37 @@ TEST(ConfigSpace, RandomFineStaysOnGrid) {
 
 TEST(ConfigSpace, RejectsTooFewCoarseLevels) {
   EXPECT_THROW(ConfigSpace(1), std::invalid_argument);
+}
+
+// Regression: the Table-1 catalog sanity checks migrated from ad-hoc
+// asserts to contracts. validate_spec is callable in any build (the full
+// validate_catalog additionally runs at ConfigSpace construction under
+// RAC_AUDIT).
+TEST(ConfigSpace, ValidateSpecAcceptsTheRealCatalog) {
+  util::ScopedContractMode guard(util::ContractMode::kThrow);
+  EXPECT_NO_THROW(validate_catalog());
+}
+
+TEST(ConfigSpace, ValidateSpecRejectsInvertedBounds) {
+  util::ScopedContractMode guard(util::ContractMode::kThrow);
+  ParamSpec bad = spec(ParamId::kMaxClients);
+  bad.min = bad.max + 1;
+  EXPECT_THROW(validate_spec(bad), util::ContractViolation);
+}
+
+TEST(ConfigSpace, ValidateSpecRejectsBadStepAndDefault) {
+  util::ScopedContractMode guard(util::ContractMode::kThrow);
+  ParamSpec bad = spec(ParamId::kMaxThreads);
+  bad.fine_step = 0;
+  EXPECT_THROW(validate_spec(bad), util::ContractViolation);
+
+  ParamSpec wide = spec(ParamId::kMaxThreads);
+  wide.fine_step = wide.max - wide.min + 1;
+  EXPECT_THROW(validate_spec(wide), util::ContractViolation);
+
+  ParamSpec stray = spec(ParamId::kSessionTimeout);
+  stray.default_value = stray.max + 10;
+  EXPECT_THROW(validate_spec(stray), util::ContractViolation);
 }
 
 }  // namespace

@@ -1,0 +1,7 @@
+// Fixture: metrics registry pinned to the global default. Never compiled.
+#include "obs/metrics.hpp"
+
+void fixture_touch_counter() {
+  auto& reg = rac::obs::default_registry();
+  reg.counter("fixture.touch").increment();
+}

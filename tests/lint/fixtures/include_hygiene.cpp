@@ -1,0 +1,4 @@
+// Fixture: path-traversing include. Never compiled; read by lint_tests.
+#include "../util/stats.hpp"
+
+int fixture_uses_relative_include() { return 0; }

@@ -1,0 +1,5 @@
+// Fixture: a header that forgets #pragma once. Never compiled.
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: violations inside comments and string literals must NOT fire.
+// std::rand() in a line comment, time(nullptr) too.
+/* neither in a block comment: std::cout << std::rand(); */
+
+/* a block comment that spans lines
+   srand(1); std::random_device rd; assert(x == 1.0);
+   still inside the comment */
+const char* fixture_msg() {
+  return "call std::rand() and assert(x == 1.0) at your peril";
+}

@@ -1,0 +1,189 @@
+// Exercises every rac-lint rule against known-bad fixture files (which are
+// never compiled), plus the path scoping, suppression, and stripping
+// machinery. The clean-tree guarantee for the real src/ is a separate
+// ctest entry (`rac_lint`) that runs the linter binary itself.
+#include "lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using rac::lint::Finding;
+
+std::filesystem::path fixture_path(const std::string& name) {
+  return std::filesystem::path(RAC_LINT_FIXTURE_DIR) / name;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& relpath) {
+  return rac::lint::lint_file(fixture_path(name), relpath);
+}
+
+int count_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintRules, RandFiresOnEveryRandSource) {
+  const auto findings = lint_fixture("rand.cpp", "src/core/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "rand"), 3);  // random_device, srand, rand
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "rand");
+}
+
+TEST(LintRules, RandExemptInsideRngImplementation) {
+  const auto findings = lint_fixture("rand.cpp", "src/util/rng.cpp");
+  EXPECT_EQ(count_rule(findings, "rand"), 0);
+}
+
+TEST(LintRules, WallClockFiresInSimulatedSubsystems) {
+  for (const std::string dir :
+       {"src/core/", "src/rl/", "src/env/", "src/tiersim/",
+        "src/queueing/"}) {
+    const auto findings =
+        lint_fixture("wall_clock.cpp", dir + "fixture.cpp");
+    EXPECT_EQ(count_rule(findings, "wall-clock"), 2) << dir;
+  }
+}
+
+TEST(LintRules, WallClockIgnoredOutsideSimulatedSubsystems) {
+  const auto findings =
+      lint_fixture("wall_clock.cpp", "src/util/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "wall-clock"), 0);
+}
+
+TEST(LintRules, DefaultRegistryFiresOutsideObs) {
+  const auto findings =
+      lint_fixture("default_registry.cpp", "src/core/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "default-registry"), 1);
+}
+
+TEST(LintRules, DefaultRegistryExemptInsideObs) {
+  const auto findings =
+      lint_fixture("default_registry.cpp", "src/obs/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "default-registry"), 0);
+}
+
+TEST(LintRules, RawAssertFiresOnCallAndInclude) {
+  const auto findings =
+      lint_fixture("raw_assert.cpp", "src/rl/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "raw-assert"), 2);
+}
+
+TEST(LintRules, StaticAssertDoesNotTripRawAssert) {
+  const auto findings = rac::lint::lint_text(
+      "src/rl/fixture.cpp", "static_assert(1 + 1 == 2, \"arith\");\n");
+  EXPECT_EQ(count_rule(findings, "raw-assert"), 0);
+}
+
+TEST(LintRules, IostreamFiresInLibraryCode) {
+  const auto findings =
+      lint_fixture("iostream.cpp", "src/env/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "iostream"), 2);  // cout, cerr
+}
+
+TEST(LintRules, IostreamExemptInLogImplementation) {
+  const auto findings = lint_fixture("iostream.cpp", "src/util/log.cpp");
+  EXPECT_EQ(count_rule(findings, "iostream"), 0);
+}
+
+TEST(LintRules, PragmaOnceMissingInHeader) {
+  const auto findings =
+      lint_fixture("missing_pragma_once.hpp", "src/util/fixture.hpp");
+  ASSERT_EQ(count_rule(findings, "pragma-once"), 1);
+  // Reported at the first code line, after the leading comment.
+  EXPECT_EQ(findings.front().line, 3);
+}
+
+TEST(LintRules, PragmaOnceNotRequiredInSourceFiles) {
+  const auto findings =
+      lint_fixture("missing_pragma_once.hpp", "src/util/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "pragma-once"), 0);
+}
+
+TEST(LintRules, PragmaOncePresentHeaderIsClean) {
+  const auto findings = rac::lint::lint_text(
+      "src/util/fixture.hpp",
+      "// A well-formed header.\n#pragma once\n\nnamespace rac {}\n");
+  EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
+}
+
+TEST(LintRules, IncludeHygieneFiresOnPathTraversal) {
+  const auto findings =
+      lint_fixture("include_hygiene.cpp", "src/core/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "include-hygiene"), 1);
+}
+
+TEST(LintRules, FloatEqFiresOnBothOperandOrders) {
+  const auto findings =
+      lint_fixture("float_eq.cpp", "src/queueing/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "float-eq"), 2);
+}
+
+TEST(LintSuppressions, SameLineAllowSilencesOnlyTheNamedRule) {
+  const auto findings =
+      lint_fixture("suppressed.cpp", "src/util/fixture.cpp");
+  // The allow(float-eq) line is silenced; the allow(rand) line is not.
+  ASSERT_EQ(count_rule(findings, "float-eq"), 1);
+  EXPECT_EQ(findings.front().line, 7);
+}
+
+TEST(LintSuppressions, CommaListAllowsMultipleRules) {
+  const auto findings = rac::lint::lint_text(
+      "src/core/fixture.cpp",
+      "bool f(double x) { return x == 1.0 && std::rand() > 0; }"
+      "  // rac-lint: allow(float-eq, rand) fixture justification\n");
+  EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
+}
+
+TEST(LintSuppressions, AllowOnAdjacentLineDoesNotSuppress) {
+  const auto findings = rac::lint::lint_text(
+      "src/core/fixture.cpp",
+      "// rac-lint: allow(float-eq) on the wrong line\n"
+      "bool f(double x) { return x == 1.0; }\n");
+  EXPECT_EQ(count_rule(findings, "float-eq"), 1);
+}
+
+TEST(LintStripping, CommentsAndStringsNeverFire) {
+  const auto findings =
+      lint_fixture("strings_and_comments.cpp", "src/core/fixture.cpp");
+  EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
+}
+
+TEST(LintRuleTable, IdsAreUniqueAndFindingsReferToThem) {
+  std::set<std::string_view> ids;
+  for (const auto& rule : rac::lint::rules()) ids.insert(rule.id);
+  EXPECT_EQ(ids.size(), rac::lint::rules().size());
+  EXPECT_EQ(ids.size(), 8u);
+  for (const std::string fixture :
+       {"rand.cpp", "wall_clock.cpp", "default_registry.cpp",
+        "raw_assert.cpp", "iostream.cpp", "include_hygiene.cpp",
+        "float_eq.cpp", "suppressed.cpp"}) {
+    for (const auto& f : lint_fixture(fixture, "src/core/fixture.cpp")) {
+      EXPECT_TRUE(ids.count(f.rule)) << fixture << " -> " << f.rule;
+    }
+  }
+}
+
+TEST(LintReport, JsonCarriesCountAndEscapes) {
+  const std::vector<Finding> findings = {
+      {"src/a\"b.cpp", 7, "float-eq", "line1\nline2"}};
+  const std::string json = rac::lint::to_json(findings);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("src/a\\\"b.cpp"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+TEST(LintTree, MissingSubdirThrows) {
+  EXPECT_THROW(rac::lint::lint_tree(RAC_LINT_FIXTURE_DIR,
+                                    {"no_such_subdir"}),
+               std::runtime_error);
+}
+
+}  // namespace

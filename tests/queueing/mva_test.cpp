@@ -177,5 +177,38 @@ TEST(Mva, RejectsInvalidInputs) {
   EXPECT_THROW(net.throughput_curve(0), std::invalid_argument);
 }
 
+// Regression for the contract migration: a station with a negative service
+// demand (negative rate or visit ratio) must be rejected at add time --
+// letting it through poisons the recursion with negative queue lengths,
+// which the RAC_AUDIT checks in solve() would only catch in audit builds.
+TEST(Mva, RejectsNegativeDemand) {
+  ClosedNetwork net(1.0);
+  EXPECT_THROW(net.add_station(Station{"neg-rate", 1.0, {-2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_station(Station{"neg-visit", -0.5, {2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_queueing_station("neg", -1.0), std::invalid_argument);
+}
+
+// In audit builds this solve additionally runs the finiteness /
+// non-negativity / monotone-throughput RAC_AUDIT checks; in default builds
+// it is a plain solve. Either way the numbers must be sane.
+TEST(Mva, SolveInvariantsHoldOnHealthyNetwork) {
+  ClosedNetwork net(2.0);
+  net.add_station(make_multiserver_station("web", 4, 20.0, 64));
+  net.add_station(make_queueing_station("db", 35.0, 0.8));
+  const auto curve = net.throughput_curve(64);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i] + 1e-9, curve[i - 1]) << i;
+  }
+  const auto result = net.solve(64);
+  EXPECT_GT(result.throughput, 0.0);
+  for (const auto& sr : result.stations) {
+    EXPECT_GE(sr.queue_length, 0.0) << sr.name;
+    EXPECT_GE(sr.utilization, 0.0) << sr.name;
+    EXPECT_LE(sr.utilization, 1.0 + 1e-9) << sr.name;
+  }
+}
+
 }  // namespace
 }  // namespace rac::queueing

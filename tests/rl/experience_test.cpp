@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "util/contracts.hpp"
+
 namespace rac::rl {
 namespace {
 
@@ -64,6 +68,24 @@ TEST(ExperienceStore, ClearForgetsEverything) {
 TEST(ExperienceStore, RejectsBadBlend) {
   EXPECT_THROW(ExperienceStore(0.0), std::invalid_argument);
   EXPECT_THROW(ExperienceStore(1.5), std::invalid_argument);
+}
+
+// Regression for the contract migration: recording a NaN, infinite, or
+// negative response would corrupt every future blend for that
+// configuration. The RAC_EXPECT precondition fires in every build.
+TEST(ExperienceStore, RejectsNonFiniteOrNegativeResponse) {
+  util::ScopedContractMode guard(util::ContractMode::kThrow);
+  ExperienceStore store;
+  EXPECT_THROW(
+      store.record(Configuration{},
+                   std::numeric_limits<double>::quiet_NaN()),
+      util::ContractViolation);
+  EXPECT_THROW(store.record(Configuration{},
+                            std::numeric_limits<double>::infinity()),
+               util::ContractViolation);
+  EXPECT_THROW(store.record(Configuration{}, -1.0),
+               util::ContractViolation);
+  EXPECT_TRUE(store.empty());
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "rl/policy.hpp"
+#include "util/contracts.hpp"
 
 namespace rac::rl {
 namespace {
@@ -134,6 +136,29 @@ TEST(TdLearner, ValidatesParameters) {
   EXPECT_THROW(batch_train(table, starts, r, bad, rng), std::invalid_argument);
   EXPECT_THROW(batch_train(table, starts, RewardFn{}, TdParams{}, rng),
                std::invalid_argument);
+}
+
+// Regression for the contract migration: a NaN reward silently poisons
+// every Q-value it touches (NaN propagates through the backup and then
+// wins every max comparison inconsistently). The post-batch RAC_AUDIT
+// sweep catches it in audit builds; default builds run the same train
+// unchecked, so this test asserts the audit fires exactly when enabled.
+TEST(TdLearner, AuditCatchesNaNRewardPoisoning) {
+  util::ScopedContractMode guard(util::ContractMode::kThrow);
+  QTable table;
+  util::Rng rng(8);
+  TdParams params;
+  params.max_sweeps = 2;
+  const std::vector<Configuration> starts = {Configuration{}};
+  const RewardFn nan_reward = [](const Configuration&) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  if (util::kAuditEnabled) {
+    EXPECT_THROW(batch_train(table, starts, nan_reward, params, rng),
+                 util::ContractViolation);
+  } else {
+    EXPECT_NO_THROW(batch_train(table, starts, nan_reward, params, rng));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,363 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace rac::lint {
+
+namespace {
+
+bool path_starts_with(std::string_view path, std::string_view prefix) {
+  return path.size() >= prefix.size() &&
+         path.substr(0, prefix.size()) == prefix;
+}
+
+bool is_header(std::string_view path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+/// Per-file scanner state: strips comments and string/char literals from
+/// each line (replacing them with spaces so columns survive) and collects
+/// the line's comment text for suppression parsing. Block comments carry
+/// across lines; multi-line string literals are not handled (the codebase
+/// has none, and a stray one only makes the linter noisier, not quieter).
+class Stripper {
+ public:
+  /// Returns the line with comments and literal contents blanked;
+  /// appends any comment text on this line to `comment_text`.
+  std::string strip(const std::string& line, std::string* comment_text) {
+    std::string out;
+    out.reserve(line.size());
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (i < n) {
+      if (in_block_comment_) {
+        const std::size_t end = line.find("*/", i);
+        if (end == std::string::npos) {
+          comment_text->append(line, i, n - i);
+          out.append(n - i, ' ');
+          i = n;
+        } else {
+          comment_text->append(line, i, end - i);
+          out.append(end + 2 - i, ' ');
+          i = end + 2;
+          in_block_comment_ = false;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+        comment_text->append(line, i + 2, n - i - 2);
+        out.append(n - i, ' ');
+        break;
+      }
+      if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+        in_block_comment_ = true;
+        out.append(2, ' ');
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        std::size_t j = i + 1;
+        while (j < n) {
+          if (line[j] == '\\') {
+            j += 2;
+            continue;
+          }
+          if (line[j] == quote) break;
+          ++j;
+        }
+        const std::size_t stop = std::min(j, n - 1);
+        out.append(stop - i + 1, ' ');
+        i = stop + 1;
+        continue;
+      }
+      out.push_back(c);
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  bool in_block_comment_ = false;
+};
+
+/// Rules suppressed on this line via `rac-lint: allow(a, b)`.
+std::vector<std::string> parse_suppressions(const std::string& comment_text) {
+  std::vector<std::string> allowed;
+  std::size_t pos = comment_text.find("rac-lint:");
+  while (pos != std::string::npos) {
+    const std::size_t open = comment_text.find("allow(", pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = comment_text.find(')', open);
+    if (close == std::string::npos) break;
+    std::string inner = comment_text.substr(open + 6, close - open - 6);
+    std::size_t start = 0;
+    while (start <= inner.size()) {
+      std::size_t comma = inner.find(',', start);
+      if (comma == std::string::npos) comma = inner.size();
+      std::string id = inner.substr(start, comma - start);
+      id.erase(0, id.find_first_not_of(" \t"));
+      const std::size_t last = id.find_last_not_of(" \t");
+      if (last != std::string::npos) id.erase(last + 1);
+      if (!id.empty()) allowed.push_back(std::move(id));
+      start = comma + 1;
+    }
+    pos = comment_text.find("rac-lint:", close);
+  }
+  return allowed;
+}
+
+struct LineRule {
+  std::string_view id;
+  std::regex pattern;
+  std::string_view message;
+  /// Empty: applies everywhere. Otherwise the file must be under one of
+  /// these prefixes for the rule to fire.
+  std::vector<std::string_view> only_under;
+  /// Files exempt from the rule (exact relpath or directory prefix).
+  std::vector<std::string_view> except_under;
+  /// Match against the raw line instead of the comment/string-stripped
+  /// one. Needed by rules that inspect string-literal contents (e.g. the
+  /// quoted path of an #include); such patterns must be anchored tightly
+  /// enough not to fire inside comments.
+  bool match_raw = false;
+};
+
+const char* kFloatLit = R"((\d+\.\d*|\.\d+)([eE][+-]?\d+)?[fFlL]?)";
+
+const std::vector<LineRule>& line_rules() {
+  static const std::vector<LineRule> rules = [] {
+    std::vector<LineRule> r;
+    r.push_back(LineRule{
+        "rand",
+        std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|\brandom_device\b|(^|[^\w:.])rand\s*\()"),
+        "nondeterministic randomness; use the seeded util::Rng "
+        "(util::derive_seed for per-task streams)",
+        {},
+        {"src/util/rng."}});
+    r.push_back(LineRule{
+        "wall-clock",
+        std::regex(R"(\bsystem_clock\b|(^|[^\w.])time\s*\(\s*(nullptr|NULL|0)\s*\)|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b)"),
+        "wall-clock read in a reproducible subsystem; time must come from "
+        "the simulation clock or the caller",
+        {"src/core/", "src/rl/", "src/env/", "src/tiersim/",
+         "src/queueing/"},
+        {}});
+    r.push_back(LineRule{
+        "default-registry",
+        std::regex(R"(\bdefault_registry\b)"),
+        "default_registry() referenced outside src/obs/; take an "
+        "obs::Registry* and resolve via obs::registry_or_default",
+        {},
+        {"src/obs/"}});
+    r.push_back(LineRule{
+        "raw-assert",
+        std::regex(R"((^|[^\w])assert\s*\(|#\s*include\s*<cassert>)"),
+        "raw assert in library code (vanishes under NDEBUG); use "
+        "RAC_EXPECT/RAC_ENSURE/RAC_INVARIANT from util/contracts.hpp",
+        {},
+        {}});
+    r.push_back(LineRule{
+        "iostream",
+        std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b)"),
+        "direct console I/O in library code; report via return values, "
+        "exceptions, or util::log",
+        {},
+        {"src/util/log.cpp"}});
+    r.push_back(LineRule{
+        "include-hygiene",
+        std::regex(R"(^\s*#\s*include\s*"[^"]*\.\./)"),
+        "path-traversing include; project includes are rooted at src/",
+        {},
+        {},
+        /*match_raw=*/true});
+    r.push_back(LineRule{
+        "float-eq",
+        std::regex(std::string(R"((==|!=)\s*[-+]?)") + kFloatLit + "|" +
+                   kFloatLit + R"(\s*(==|!=))"),
+        "exact floating-point comparison against a literal; compare with a "
+        "tolerance or justify with a suppression",
+        {},
+        {}});
+    return r;
+  }();
+  return rules;
+}
+
+bool rule_applies(const LineRule& rule, std::string_view relpath) {
+  for (const auto& exempt : rule.except_under) {
+    if (path_starts_with(relpath, exempt)) return false;
+  }
+  if (rule.only_under.empty()) return true;
+  for (const auto& prefix : rule.only_under) {
+    if (path_starts_with(relpath, prefix)) return true;
+  }
+  return false;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> info = {
+      {"rand", "randomness outside util::Rng (determinism)"},
+      {"wall-clock", "wall-clock reads in simulated subsystems"},
+      {"default-registry", "default_registry() pinned outside src/obs/"},
+      {"raw-assert", "assert() in library code; use contract macros"},
+      {"iostream", "std::cout/cerr/clog in library code; use util::log"},
+      {"pragma-once", "headers must open with #pragma once"},
+      {"include-hygiene", "no path-traversing quoted includes"},
+      {"float-eq", "exact float comparison against a literal"},
+  };
+  return info;
+}
+
+std::vector<Finding> lint_text(const std::string& relpath,
+                               const std::string& contents) {
+  std::vector<Finding> findings;
+  Stripper stripper;
+  std::istringstream in(contents);
+  std::string line;
+  int line_no = 0;
+  bool saw_pragma_once = false;
+  int first_code_line = 0;  // first non-blank, non-comment line
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string comment_text;
+    const std::string code = stripper.strip(line, &comment_text);
+    const auto allowed = parse_suppressions(comment_text);
+    const auto is_allowed = [&](std::string_view rule_id) {
+      return std::find(allowed.begin(), allowed.end(), rule_id) !=
+             allowed.end();
+    };
+
+    const bool blank =
+        code.find_first_not_of(" \t\r") == std::string::npos;
+    if (!blank && first_code_line == 0) {
+      first_code_line = line_no;
+      if (code.find("#pragma once") != std::string::npos) {
+        saw_pragma_once = true;
+      }
+    }
+
+    for (const auto& rule : line_rules()) {
+      if (!rule_applies(rule, relpath)) continue;
+      const std::string& target = rule.match_raw ? line : code;
+      auto begin =
+          std::sregex_iterator(target.begin(), target.end(), rule.pattern);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        if (is_allowed(rule.id)) continue;
+        findings.push_back(Finding{relpath, line_no, std::string(rule.id),
+                                   std::string(rule.message)});
+      }
+    }
+  }
+
+  if (is_header(relpath) && !saw_pragma_once) {
+    findings.push_back(Finding{
+        relpath, std::max(first_code_line, 1), "pragma-once",
+        "header does not open with #pragma once"});
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& path,
+                               const std::string& relpath) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("rac-lint: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_text(relpath, buffer.str());
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<std::string>& subdirs) {
+  std::vector<Finding> findings;
+  for (const auto& subdir : subdirs) {
+    const std::filesystem::path dir = root / subdir;
+    if (std::filesystem::is_regular_file(dir)) {
+      auto file_findings = lint_file(dir, subdir);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      continue;
+    }
+    if (!std::filesystem::is_directory(dir)) {
+      throw std::runtime_error("rac-lint: no such directory: " +
+                               dir.string());
+    }
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      const auto rel =
+          std::filesystem::relative(file, root).generic_string();
+      auto file_findings = lint_file(file, rel);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+  return findings;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::string out = "{\"count\": " + std::to_string(findings.size()) +
+                    ", \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"file\": \"";
+    append_json_escaped(out, findings[i].file);
+    out += "\", \"line\": " + std::to_string(findings[i].line) +
+           ", \"rule\": \"";
+    append_json_escaped(out, findings[i].rule);
+    out += "\", \"message\": \"";
+    append_json_escaped(out, findings[i].message);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace rac::lint

@@ -1,0 +1,86 @@
+// rac-lint: the project's custom static checker.
+//
+// A dependency-free, token/regex-level linter for the invariants this
+// codebase enforces by convention but the compiler cannot:
+//
+//   rand              std::rand / srand / std::random_device anywhere but
+//                     src/util/rng.* -- all randomness must flow through
+//                     the seeded, deterministic util::Rng.
+//   wall-clock        wall-clock reads (system_clock, time(nullptr),
+//                     gettimeofday, clock_gettime) in src/{core,rl,env,
+//                     tiersim,queueing} -- simulated subsystems must be
+//                     reproducible from their inputs alone.
+//   default-registry  obs::default_registry() referenced outside src/obs/
+//                     -- components must take an injectable registry and
+//                     resolve it via obs::registry_or_default (function-
+//                     local statics pinned to the default registry were
+//                     the PR 2 metrics-routing bug class).
+//   raw-assert        assert( in library code -- compiled out under
+//                     NDEBUG; use the RAC_EXPECT/RAC_ENSURE/RAC_INVARIANT
+//                     contract macros instead.
+//   iostream          std::cout / std::cerr / std::clog in library code
+//                     (src/util/log.cpp excepted) -- libraries report via
+//                     return values, exceptions, and util::log.
+//   pragma-once       every header must open with #pragma once before any
+//                     code.
+//   include-hygiene   quoted includes must not path-traverse ("../") --
+//                     all project includes are rooted at src/.
+//   float-eq          == / != against a floating-point literal -- exact
+//                     float comparison is almost always a bug; use an
+//                     epsilon, or suppress where exactness is the point.
+//
+// Findings on a line carrying `// rac-lint: allow(<rule>[, <rule>...])`
+// are suppressed for the named rules only; suppressions are expected to
+// carry a justification in the same comment.
+//
+// The checker is deliberately line/token based (comments and string
+// literals are stripped first): it is fast, has zero dependencies, and
+// the rules it enforces are lexically recognizable by construction.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rac::lint {
+
+struct Finding {
+  std::string file;  // path as passed in (repo-relative in CI)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The rule table, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+/// Lint one file's contents. `relpath` (forward-slash, repo-relative, e.g.
+/// "src/core/runner.cpp") drives the path-scoped rules; `contents` is the
+/// full text. Exposed separately from lint_file so tests can lint fixture
+/// text under any pretend path.
+std::vector<Finding> lint_text(const std::string& relpath,
+                               const std::string& contents);
+
+/// Read and lint one file on disk, reporting it as `relpath`.
+std::vector<Finding> lint_file(const std::filesystem::path& path,
+                               const std::string& relpath);
+
+/// Recursively lint every *.hpp / *.cpp / *.h / *.cc under root/<subdir>
+/// for each subdir, in sorted order. Throws std::runtime_error if a subdir
+/// does not exist.
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<std::string>& subdirs);
+
+/// Machine-readable report: {"count": N, "findings": [...]}.
+std::string to_json(const std::vector<Finding>& findings);
+
+/// Human-readable "file:line: [rule] message" lines.
+std::string to_text(const std::vector<Finding>& findings);
+
+}  // namespace rac::lint

@@ -1,0 +1,85 @@
+// rac-lint driver. Run as a ctest (`ctest -R rac_lint`) or by hand:
+//
+//   rac_lint [--root DIR] [--report FILE] [--list-rules] [path...]
+//
+// Paths are directories (linted recursively) or single files, relative to
+// --root (default: current directory; CI passes the repo root). With no
+// paths, lints src/. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rac_lint [--root DIR] [--report FILE] [--list-rules]"
+               " [path...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string report;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage();
+      root = argv[i];
+    } else if (arg == "--report") {
+      if (++i >= argc) return usage();
+      report = argv[i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : rac::lint::rules()) {
+      std::cout << rule.id << "\t" << rule.summary << "\n";
+    }
+    return 0;
+  }
+
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<rac::lint::Finding> findings;
+  try {
+    findings = rac::lint::lint_tree(root, paths);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (!report.empty()) {
+    std::ofstream out(report);
+    if (!out) {
+      std::cerr << "rac-lint: cannot write report to " << report << "\n";
+      return 2;
+    }
+    out << rac::lint::to_json(findings) << "\n";
+  }
+
+  std::cout << rac::lint::to_text(findings);
+  if (findings.empty()) {
+    std::cout << "rac-lint: clean\n";
+    return 0;
+  }
+  std::cout << "rac-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
