@@ -1,8 +1,12 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
 #include <iostream>
+#include <optional>
 
+#include "core/library_io.hpp"
 #include "obs/pool.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,14 +27,88 @@ std::unique_ptr<env::AnalyticEnv> make_env(const env::SystemContext& context,
       context, default_env_options(seed, noise_sigma));
 }
 
+namespace {
+
+// Cache filename for a library build: the context list plus the seed fully
+// determine the (deterministic) training result. Context tokens contain
+// '/', which cannot appear in a filename; the mix name plus level digit is
+// unique and filesystem-safe.
+std::string library_cache_name(const std::vector<env::SystemContext>& contexts,
+                               std::uint64_t seed) {
+  std::string name = "lib";
+  for (const auto& context : contexts) {
+    name += "-";
+    name += workload::mix_name(context.mix);
+    name += std::to_string(static_cast<int>(context.level));
+  }
+  name += "-s" + std::to_string(seed) + ".rac";
+  return name;
+}
+
+// Load a cached library if it exists and matches the requested contexts;
+// nullopt means "rebuild". A stale or corrupt cache file is reported and
+// ignored, never trusted.
+std::optional<core::InitialPolicyLibrary> try_load_cached_library(
+    const std::string& path,
+    const std::vector<env::SystemContext>& contexts) {
+  std::optional<core::InitialPolicyLibrary> loaded;
+  try {
+    loaded = core::load_library_file(path);
+  } catch (const std::ios_base::failure&) {
+    return std::nullopt;  // no cache file yet
+  } catch (const std::exception& e) {
+    std::cerr << "library cache: ignoring unreadable " << path << ": "
+              << e.what() << "\n";
+    return std::nullopt;
+  }
+  if (loaded->size() != contexts.size()) {
+    std::cerr << "library cache: ignoring stale " << path << "\n";
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    if (!(loaded->at(i).context == contexts[i])) {
+      std::cerr << "library cache: ignoring stale " << path << "\n";
+      return std::nullopt;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace
+
 core::InitialPolicyLibrary build_offline_library(
     const std::vector<env::SystemContext>& contexts, std::uint64_t seed) {
+  // RAC_LIBRARY_CACHE=<dir> caches the offline build on disk: training is
+  // the dominant cost of every bench binary and is bit-deterministic, so
+  // a second run with the same contexts and seed can just reload it.
+  const char* cache_dir = std::getenv("RAC_LIBRARY_CACHE");
+  std::string cache_path;
+  if (cache_dir != nullptr && *cache_dir != '\0') {
+    cache_path =
+        std::string(cache_dir) + "/" + library_cache_name(contexts, seed);
+    if (auto cached = try_load_cached_library(cache_path, contexts)) {
+      std::cout << "library cache: loaded " << cache_path << "\n";
+      return std::move(*cached);
+    }
+  }
+
   core::PolicyInitOptions init;
   init.offline_td.max_sweeps = 150;
-  return core::build_library(
+  core::InitialPolicyLibrary library = core::build_library(
       contexts,
       [&](const env::SystemContext& ctx) { return make_env(ctx, seed); },
       init);
+
+  if (!cache_path.empty()) {
+    try {
+      core::save_library_file(cache_path, library);
+      std::cout << "library cache: saved " << cache_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "library cache: could not save " << cache_path << ": "
+                << e.what() << "\n";
+    }
+  }
+  return library;
 }
 
 core::ContextSchedule paper_schedule() {

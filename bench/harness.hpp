@@ -32,7 +32,10 @@ std::unique_ptr<env::AnalyticEnv> make_env(const env::SystemContext& context,
                                            double noise_sigma = 0.10);
 
 /// Offline-train one initial policy per context (Algorithm 2 on offline
-/// traces of that context).
+/// traces of that context). When $RAC_LIBRARY_CACHE names a directory, the
+/// built library is cached there (keyed by contexts + seed) and reloaded
+/// on later runs instead of re-training; stale or corrupt cache files are
+/// ignored and rebuilt.
 core::InitialPolicyLibrary build_offline_library(
     const std::vector<env::SystemContext>& contexts, std::uint64_t seed = 7);
 

@@ -7,6 +7,7 @@
 // application-level measurement is reported back (`observe`).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "config/configuration.hpp"
@@ -34,6 +35,15 @@ class ConfigAgent {
   /// already set. Agents without internal decision state leave the record
   /// as is.
   virtual void annotate(obs::TraceEvent& event) const { (void)event; }
+
+  /// Serialize the agent's learner state for checkpointing. Returns false
+  /// when the agent does not support persistence (the default); the
+  /// management loop refuses checkpointing for such agents rather than
+  /// silently writing checkpoints that cannot resume anything.
+  virtual bool save_state(std::ostream& os) const {
+    (void)os;
+    return false;
+  }
 };
 
 }  // namespace rac::core

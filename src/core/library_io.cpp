@@ -1,0 +1,180 @@
+#include "core/library_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "env/context.hpp"
+#include "rl/serialization.hpp"
+#include "util/lineio.hpp"
+
+namespace rac::core {
+
+namespace {
+
+constexpr const char* kMagic = "rac-policy-library";
+constexpr int kVersion = 1;
+
+double read_double(std::istream& is, std::string_view what) {
+  return util::parse_double(util::read_token(is, what), what);
+}
+
+std::uint64_t read_u64(std::istream& is, std::string_view what) {
+  return util::parse_u64(util::read_token(is, what), what);
+}
+
+void save_surface(std::ostream& os, const util::QuadraticSurface& surface) {
+  if (!surface.fitted()) {
+    os << "surface unfitted\n";
+    return;
+  }
+  os << "surface " << util::format_u64(surface.dim()) << ' '
+     << util::format_i64(surface.per_dim_degree()) << "\n";
+  os << "weights " << util::format_u64(surface.model().num_features());
+  for (double w : surface.model().weights()) {
+    os << ' ' << util::format_double(w);
+  }
+  os << "\n";
+  os << "means";
+  for (double m : surface.means()) os << ' ' << util::format_double(m);
+  os << "\n";
+  os << "scales";
+  for (double s : surface.scales()) os << ' ' << util::format_double(s);
+  os << "\n";
+}
+
+util::QuadraticSurface load_surface(std::istream& is) {
+  constexpr const char* kWhat = "load_library surface";
+  util::expect_token(is, "surface", kWhat);
+  const std::string first = util::read_token(is, kWhat);
+  if (first == "unfitted") return util::QuadraticSurface{};
+  const std::uint64_t dim = util::parse_u64(first, kWhat);
+  const int degree = util::parse_int(util::read_token(is, kWhat), kWhat);
+  util::expect_token(is, "weights", kWhat);
+  const std::uint64_t num_weights = read_u64(is, kWhat);
+  std::vector<double> weights;
+  weights.reserve(num_weights);
+  for (std::uint64_t i = 0; i < num_weights; ++i) {
+    weights.push_back(read_double(is, kWhat));
+  }
+  util::expect_token(is, "means", kWhat);
+  std::vector<double> means;
+  means.reserve(dim);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    means.push_back(read_double(is, kWhat));
+  }
+  util::expect_token(is, "scales", kWhat);
+  std::vector<double> scales;
+  scales.reserve(dim);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    scales.push_back(read_double(is, kWhat));
+  }
+  try {
+    return util::QuadraticSurface::from_parts(
+        util::LinearModel(std::move(weights)), dim, degree, std::move(means),
+        std::move(scales));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_library: bad surface: ") +
+                             e.what());
+  }
+}
+
+}  // namespace
+
+void save_library(std::ostream& os, const InitialPolicyLibrary& library) {
+  os << kMagic << " v" << kVersion << "\n";
+  os << "policies " << util::format_u64(library.size()) << "\n";
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    const InitialPolicy& policy = library.at(i);
+    os << "policy " << util::format_u64(i) << "\n";
+    os << "context " << env::context_token(policy.context) << "\n";
+    os << "sla " << util::format_double(policy.sla.reference_response_ms)
+       << "\n";
+    os << "best_sampled";
+    for (int v : policy.best_sampled.values()) {
+      os << ' ' << util::format_i64(v);
+    }
+    os << ' ' << util::format_double(policy.best_sampled_response_ms) << "\n";
+    os << "regression_r2 " << util::format_double(policy.regression_r2)
+       << "\n";
+    save_surface(os, policy.surface);
+    rl::save_qtable(os, policy.table);
+  }
+  os << "end\n";
+  if (!os) throw std::ios_base::failure("save_library: write failed");
+}
+
+InitialPolicyLibrary load_library(std::istream& is) {
+  constexpr const char* kWhat = "load_library";
+  const std::string magic = util::read_token(is, kWhat);
+  const std::string version = util::read_token(is, kWhat);
+  if (magic != kMagic) {
+    throw std::runtime_error("load_library: not a rac-policy-library stream");
+  }
+  if (version != "v1") {
+    throw std::runtime_error("load_library: unsupported version " + version);
+  }
+  util::expect_token(is, "policies", kWhat);
+  const std::uint64_t count = read_u64(is, kWhat);
+  InitialPolicyLibrary library;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    util::expect_token(is, "policy", kWhat);
+    const std::uint64_t index = read_u64(is, kWhat);
+    if (index != i) {
+      throw std::runtime_error("load_library: policy index out of order");
+    }
+    InitialPolicy policy;
+    util::expect_token(is, "context", kWhat);
+    try {
+      policy.context = env::parse_context_token(util::read_token(is, kWhat));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("load_library: ") + e.what());
+    }
+    util::expect_token(is, "sla", kWhat);
+    policy.sla.reference_response_ms = read_double(is, kWhat);
+    util::expect_token(is, "best_sampled", kWhat);
+    std::array<int, config::kNumParams> values{};
+    for (auto& v : values) {
+      v = util::parse_int(util::read_token(is, kWhat), kWhat);
+    }
+    policy.best_sampled = config::Configuration(values);
+    if (policy.best_sampled.values() != values) {
+      throw std::runtime_error(
+          "load_library: best_sampled outside parameter ranges");
+    }
+    policy.best_sampled_response_ms = read_double(is, kWhat);
+    util::expect_token(is, "regression_r2", kWhat);
+    policy.regression_r2 = read_double(is, kWhat);
+    policy.surface = load_surface(is);
+    policy.table = rl::load_qtable(is);
+    library.add(std::move(policy));
+  }
+  util::expect_token(is, "end", kWhat);
+  return library;
+}
+
+void save_library_file(const std::string& path,
+                       const InitialPolicyLibrary& library) {
+  std::ostringstream os;
+  save_library(os, library);
+  util::atomic_write_file(path, os.str());
+}
+
+InitialPolicyLibrary load_library_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::ios_base::failure("load_library_file: cannot open " + path);
+  }
+  InitialPolicyLibrary library = load_library(is);
+  std::string extra;
+  if (is >> extra) {
+    throw std::runtime_error(
+        "load_library_file: trailing garbage after library: '" + extra + "'");
+  }
+  return library;
+}
+
+}  // namespace rac::core

@@ -1,0 +1,36 @@
+// Persistence for the initial-policy library.
+//
+// Offline policy initialization is the expensive step of RAC (the paper
+// reports over ten hours of data collection per context on the real
+// testbed); the library -- one trained policy per anticipated context --
+// is what a deployment actually ships. Saving stores each policy's
+// context, regression surface (coefficients, standardization means and
+// scales), coarse-sample optimum, fit quality, and Q-table; a loaded
+// library is `exactly_equal` to the one saved, so benches and deployments
+// can reuse a cached build instead of re-training.
+//
+// Same line-oriented token format as the rest of the persistence layer
+// (util/lineio hex doubles, embedded rac-qtable v2 blocks, "end" trailers).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/policy_library.hpp"
+
+namespace rac::core {
+
+/// Serialize a library. Throws std::ios_base::failure on stream errors.
+void save_library(std::ostream& os, const InitialPolicyLibrary& library);
+
+/// Parse a library produced by save_library. Throws std::runtime_error on
+/// malformed input. Leaves the stream just past the trailing "end".
+InitialPolicyLibrary load_library(std::istream& is);
+
+/// File-path convenience wrappers. Saving writes atomically (temp file +
+/// rename); loading additionally rejects trailing garbage.
+void save_library_file(const std::string& path,
+                       const InitialPolicyLibrary& library);
+InitialPolicyLibrary load_library_file(const std::string& path);
+
+}  // namespace rac::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "obs/metrics.hpp"
 #include "obs/pool.hpp"
@@ -19,8 +20,11 @@ double InitialPolicy::predict_response_ms(const config::Configuration& c) const 
   if (!surface.fitted()) return sla.reference_response_ms;
   const auto z = c.normalized_values();
   // The surface predicts log(ms); clamp the exponent so a wild
-  // extrapolation cannot overflow.
-  return std::exp(std::clamp(surface.predict(z), 0.0, 12.0));
+  // extrapolation cannot overflow. The guard is symmetric: an earlier
+  // lower bound of 0 pinned every prediction at >= 1 ms, collapsing all
+  // sub-millisecond surfaces to the same value (the same bug the library's
+  // best_match scoring had).
+  return std::exp(std::clamp(surface.predict(z), -12.0, 12.0));
 }
 
 double InitialPolicy::predict_reward(const config::Configuration& c) const {
@@ -153,6 +157,23 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
 
 namespace {
 
+bool spans_equal(std::span<const double> a, std::span<const double> b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Bitwise identity of the fitted surfaces: same shape and identical
+// coefficients, standardization means, and scales.
+bool surfaces_equal(const util::QuadraticSurface& a,
+                    const util::QuadraticSurface& b) {
+  if (a.fitted() != b.fitted()) return false;
+  if (!a.fitted()) return true;
+  if (a.dim() != b.dim() || a.per_dim_degree() != b.per_dim_degree()) {
+    return false;
+  }
+  return spans_equal(a.model().weights(), b.model().weights()) &&
+         spans_equal(a.means(), b.means()) && spans_equal(a.scales(), b.scales());
+}
+
 bool tables_equal(const rl::QTable& a, const rl::QTable& b) {
   if (a.size() != b.size() || a.default_q() != b.default_q()) return false;
   const auto actions = config::ConfigSpace::all_actions();
@@ -173,17 +194,7 @@ bool exactly_equal(const InitialPolicy& a, const InitialPolicy& b) {
   if (a.best_sampled_response_ms != b.best_sampled_response_ms) return false;
   if (a.regression_r2 != b.regression_r2) return false;
   if (!tables_equal(a.table, b.table)) return false;
-  // The surface has no coefficient accessor; compare its predictions over
-  // the coarse grid it was fitted on (plus the defaults) bitwise.
-  const config::ConfigSpace space(4);
-  std::vector<config::Configuration> probes = space.coarse_grid();
-  probes.push_back(config::Configuration::defaults());
-  for (const auto& probe : probes) {
-    if (a.predict_response_ms(probe) != b.predict_response_ms(probe)) {
-      return false;
-    }
-  }
-  return true;
+  return surfaces_equal(a.surface, b.surface);
 }
 
 }  // namespace rac::core

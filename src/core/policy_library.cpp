@@ -25,6 +25,11 @@ std::optional<std::size_t> InitialPolicyLibrary::best_match(
     const config::Configuration& configuration,
     double measured_response_ms) const {
   if (policies_.empty()) return std::nullopt;
+  // Guard log() against zero/negative inputs only. An earlier version
+  // clamped to 1.0 ms, which collapsed every sub-millisecond surface to
+  // the same score and silently resolved those "ties" to policy 0; the
+  // tiny floor keeps sub-ms predictions distinguishable.
+  constexpr double kFloorMs = 1e-9;
   std::size_t best = 0;
   double best_score = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < policies_.size(); ++i) {
@@ -32,8 +37,12 @@ std::optional<std::size_t> InitialPolicyLibrary::best_match(
         policies_[i].predict_response_ms(configuration);
     // Relative mismatch in log space: symmetric between over- and
     // under-prediction.
-    const double score = std::abs(std::log(std::max(predicted, 1.0)) -
-                                  std::log(std::max(measured_response_ms, 1.0)));
+    const double score =
+        std::abs(std::log(std::max(predicted, kFloorMs)) -
+                 std::log(std::max(measured_response_ms, kFloorMs)));
+    // Strict '<' makes exact ties resolve to the lowest policy index --
+    // deterministic, and stable across library reorderings of non-tied
+    // entries.
     if (score < best_score) {
       best_score = score;
       best = i;

@@ -35,7 +35,7 @@ class InitialPolicyLibrary {
 
   /// Index of the policy whose predicted response time at `configuration`
   /// is closest (relatively) to the measured one. Returns nullopt for an
-  /// empty library.
+  /// empty library. Exact score ties resolve to the lowest policy index.
   std::optional<std::size_t> best_match(
       const config::Configuration& configuration,
       double measured_response_ms) const;

@@ -1,8 +1,13 @@
 #include "core/rac_agent.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "env/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/log.hpp"
@@ -91,9 +96,16 @@ void RacAgent::retrain() {
   retrain_count_->add(1);
   const obs::ScopedTimer timer(retrain_us_);
   // Batch sweep over every remembered state plus the current one, so the
-  // fresh observation propagates through the Q-table (Section 4.2).
+  // fresh observation propagates through the Q-table (Section 4.2). Sweep
+  // in canonical (sorted) state order: the result must not depend on how
+  // the experience store happens to iterate, or a restored agent could
+  // diverge from the run it resumed.
   std::vector<config::Configuration> states = experience_.configurations();
   if (states.empty()) states.push_back(current_);
+  std::sort(states.begin(), states.end(),
+            [](const config::Configuration& a, const config::Configuration& b) {
+              return a.values() < b.values();
+            });
   const rl::RewardFn reward = [this](const config::Configuration& c) {
     return reward_from_response(opt_.sla, lookup_response(c));
   };
@@ -146,6 +158,118 @@ void RacAgent::observe(const config::Configuration& applied,
   }
 
   if (opt_.online_learning) retrain();
+}
+
+AgentSnapshot RacAgent::snapshot() const {
+  AgentSnapshot s;
+  s.sla_reference_response_ms = opt_.sla.reference_response_ms;
+  s.online_epsilon = opt_.online_epsilon;
+  s.online_td = opt_.online_td;
+  s.violation_window = opt_.violation.window;
+  s.violation_threshold = opt_.violation.threshold;
+  s.violation_consecutive_limit = opt_.violation.consecutive_limit;
+  s.violation_min_history = opt_.violation.min_history;
+  s.online_learning = opt_.online_learning;
+  s.adaptive_policy_switching = opt_.adaptive_policy_switching;
+  s.seed = opt_.seed;
+  s.library_size = library_.size();
+  s.experience_blend = experience_.blend();
+  s.has_active_policy = active_policy_.has_value();
+  if (s.has_active_policy) {
+    s.active_policy = *active_policy_;
+    s.active_policy_context =
+        env::context_token(library_.at(*active_policy_).context);
+  }
+  s.qtable = qtable_;
+  const auto entries = experience_.entries();
+  s.experience.assign(entries.begin(), entries.end());
+  s.detector_history = detector_.history();
+  s.detector_consecutive = detector_.consecutive_violations();
+  s.detector_last_violation = detector_.last_was_violation();
+  s.rng = rng_.state();
+  s.current = current_;
+  s.first_decide = first_decide_;
+  s.policy_switches = policy_switches_;
+  s.last_action_id = last_selection_.action.id();
+  s.last_explored = last_selection_.explored;
+  s.last_q_value = last_selection_.q_value;
+  s.last_policy_switched = last_policy_switched_;
+  s.last_reward = last_reward_;
+  s.calibration_initialized = !calibration_log_.empty();
+  s.calibration_value = calibration_log_.value();
+  return s;
+}
+
+void RacAgent::restore(const AgentSnapshot& s) {
+  // Hyperparameter drift would make the resumed run a silent hybrid of two
+  // configurations, so every constant must match exactly. (Bitwise double
+  // comparison is deliberate: the snapshot stores exact hex values.)
+  const bool hyperparams_match =
+      s.sla_reference_response_ms == opt_.sla.reference_response_ms &&
+      s.online_epsilon == opt_.online_epsilon &&
+      s.online_td.alpha == opt_.online_td.alpha &&
+      s.online_td.gamma == opt_.online_td.gamma &&
+      s.online_td.epsilon == opt_.online_td.epsilon &&
+      s.online_td.theta == opt_.online_td.theta &&
+      s.online_td.trajectory_limit == opt_.online_td.trajectory_limit &&
+      s.online_td.max_sweeps == opt_.online_td.max_sweeps &&
+      s.violation_window == opt_.violation.window &&
+      s.violation_threshold == opt_.violation.threshold &&
+      s.violation_consecutive_limit == opt_.violation.consecutive_limit &&
+      s.violation_min_history == opt_.violation.min_history &&
+      s.online_learning == opt_.online_learning &&
+      s.adaptive_policy_switching == opt_.adaptive_policy_switching &&
+      s.seed == opt_.seed && s.experience_blend == experience_.blend();
+  if (!hyperparams_match) {
+    throw std::invalid_argument(
+        "RacAgent::restore: snapshot hyperparameters differ from this "
+        "agent's options");
+  }
+  if (s.library_size != library_.size()) {
+    throw std::invalid_argument(
+        "RacAgent::restore: snapshot library size differs from this agent's "
+        "library");
+  }
+  if (s.has_active_policy) {
+    if (s.active_policy >= library_.size()) {
+      throw std::invalid_argument(
+          "RacAgent::restore: active policy index outside the library");
+    }
+    const std::string live_context =
+        env::context_token(library_.at(s.active_policy).context);
+    if (live_context != s.active_policy_context) {
+      throw std::invalid_argument(
+          "RacAgent::restore: active policy context mismatch (snapshot '" +
+          s.active_policy_context + "' vs library '" + live_context + "')");
+    }
+  }
+  // Validating restores first (they throw) keeps the agent unchanged on
+  // failure paths that are reachable from on-disk data.
+  rl::ExperienceStore experience(experience_.blend());
+  experience.restore(s.experience);
+  util::Rng rng = rng_;
+  rng.restore(s.rng);
+  detector_.restore(s.detector_history, s.detector_consecutive,
+                    s.detector_last_violation);
+  experience_ = std::move(experience);
+  rng_ = rng;
+  qtable_ = s.qtable;
+  active_policy_ = s.has_active_policy
+                       ? std::optional<std::size_t>(s.active_policy)
+                       : std::nullopt;
+  current_ = s.current;
+  first_decide_ = s.first_decide;
+  policy_switches_ = s.policy_switches;
+  last_selection_ = {config::Action(s.last_action_id), s.last_explored,
+                     s.last_q_value};
+  last_policy_switched_ = s.last_policy_switched;
+  last_reward_ = s.last_reward;
+  calibration_log_.restore(s.calibration_value, s.calibration_initialized);
+}
+
+bool RacAgent::save_state(std::ostream& os) const {
+  save_agent_snapshot(os, snapshot());
+  return true;
 }
 
 void RacAgent::annotate(obs::TraceEvent& event) const {

@@ -23,6 +23,7 @@
 #include "core/agent.hpp"
 #include "core/policy_library.hpp"
 #include "core/reward.hpp"
+#include "core/snapshot.hpp"
 #include "core/violation.hpp"
 #include "rl/experience.hpp"
 #include "rl/policy.hpp"
@@ -76,6 +77,20 @@ class RacAgent : public ConfigAgent {
   /// measurement, active policy and the interval's violation / policy-
   /// switch signals.
   void annotate(obs::TraceEvent& event) const override;
+
+  /// Capture the complete mutable state (plus the hyperparameters, for
+  /// validation on restore). A restored agent continues the run
+  /// bit-identically to one that never stopped.
+  AgentSnapshot snapshot() const;
+
+  /// Adopt a snapshot's state. Throws std::invalid_argument when the
+  /// snapshot's hyperparameters differ from this agent's options, when the
+  /// library sizes disagree, or when the snapshot's active policy does not
+  /// name the same context as the live library entry at that index.
+  void restore(const AgentSnapshot& snapshot);
+
+  /// ConfigAgent checkpoint hook: serializes snapshot(). Always true.
+  bool save_state(std::ostream& os) const override;
 
   // -- introspection (tests, harness commentary) ---------------------------
   const rl::QTable& qtable() const noexcept { return qtable_; }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
+#include "core/snapshot.hpp"
 #include "obs/timer.hpp"
 
 namespace rac::core {
@@ -24,22 +27,44 @@ int AgentTrace::settled_iteration(int from, int to, int window,
                                   double tolerance) const {
   const int n = to < 0 ? static_cast<int>(records.size())
                        : std::min(to, static_cast<int>(records.size()));
-  for (int candidate = std::max(from, 0); candidate + window <= n;
-       ++candidate) {
-    // Trailing-mean stability from `candidate` to the end of the range.
-    bool stable = true;
-    for (int i = candidate; i < n; ++i) {
-      const int lo = std::max(candidate, i - window + 1);
-      double mean = 0.0;
-      for (int j = lo; j <= i; ++j) {
-        mean += records[static_cast<std::size_t>(j)].response_ms;
-      }
-      mean /= static_cast<double>(i - lo + 1);
-      const double rt = records[static_cast<std::size_t>(i)].response_ms;
-      if (mean > 0.0 && std::abs(rt - mean) / mean > tolerance) {
-        stable = false;
-        break;
-      }
+  const int first = std::max(from, 0);
+  if (window < 1 || first + window > n) return -1;
+
+  // A candidate is stable iff |rt_i - mean| / mean <= tolerance for every
+  // i in [candidate, n), where the mean runs over the trailing window
+  // clipped at `candidate`. Only the first window-1 positions clip, so the
+  // check splits into a per-candidate part over those positions and a
+  // candidate-independent part over full windows -- O(n * window) overall
+  // instead of the naive O((n - from)^2 * window).
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] +
+        records[static_cast<std::size_t>(i)].response_ms;
+  }
+  const auto range_mean = [&](int lo, int hi) {  // over [lo, hi]
+    return (prefix[static_cast<std::size_t>(hi) + 1] -
+            prefix[static_cast<std::size_t>(lo)]) /
+           static_cast<double>(hi - lo + 1);
+  };
+  const auto within = [&](int i, double mean) {
+    const double rt = records[static_cast<std::size_t>(i)].response_ms;
+    return !(mean > 0.0 && std::abs(rt - mean) / mean > tolerance);
+  };
+
+  // all_full_from[i]: every full-window position j >= i passes the check.
+  std::vector<char> all_full_from(static_cast<std::size_t>(n) + 1, 1);
+  for (int i = n - 1; i >= window - 1; --i) {
+    all_full_from[static_cast<std::size_t>(i)] =
+        all_full_from[static_cast<std::size_t>(i) + 1] &&
+        within(i, range_mean(i - window + 1, i));
+  }
+
+  for (int candidate = first; candidate + window <= n; ++candidate) {
+    bool stable = all_full_from[static_cast<std::size_t>(candidate) +
+                                static_cast<std::size_t>(window) - 1] != 0;
+    for (int i = candidate; stable && i < candidate + window - 1; ++i) {
+      stable = within(i, range_mean(candidate, i));
     }
     if (stable) return candidate;
   }
@@ -54,19 +79,69 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
       throw std::invalid_argument("run_agent: schedule not sorted");
     }
   }
+  if (options.start_iteration < 0 || options.start_iteration > iterations) {
+    throw std::invalid_argument(
+        "run_agent: start_iteration outside [0, iterations]");
+  }
+  if (options.checkpoint_every < 0) {
+    throw std::invalid_argument("run_agent: negative checkpoint_every");
+  }
+  const bool checkpointing = options.checkpoint_every > 0;
+  if (checkpointing && options.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "run_agent: checkpoint_every set without a checkpoint_path");
+  }
 
   obs::Registry& registry = obs::registry_or_default(options.registry);
   obs::Counter& c_iterations = registry.counter("core.runner.iterations");
   obs::Counter& c_traced = registry.counter("core.runner.trace_events");
   obs::Histogram& h_iteration =
       registry.histogram("core.runner.iteration_us", obs::latency_us_bounds());
+  obs::Counter& c_checkpoint_writes =
+      registry.counter("core.checkpoint.writes");
+  obs::Counter& c_checkpoint_bytes = registry.counter("core.checkpoint.bytes");
+  obs::Histogram& h_checkpoint = registry.histogram(
+      "core.checkpoint.write_us", obs::latency_us_bounds());
+
+  const auto write_checkpoint = [&](int completed) {
+    std::ostringstream state;
+    if (!agent.save_state(state)) {
+      throw std::invalid_argument(
+          "run_agent: checkpointing requested but the agent does not "
+          "support save_state");
+    }
+    RunCheckpoint checkpoint;
+    checkpoint.completed_iterations = static_cast<std::uint64_t>(completed);
+    checkpoint.agent_state = state.str();
+    {
+      const obs::ScopedTimer timer(&h_checkpoint);
+      write_checkpoint_file(options.checkpoint_path, checkpoint);
+    }
+    c_checkpoint_writes.add(1);
+    c_checkpoint_bytes.add(checkpoint.agent_state.size());
+  };
 
   AgentTrace trace;
   trace.agent = agent.name();
-  trace.records.reserve(static_cast<std::size_t>(iterations));
+  trace.records.reserve(
+      static_cast<std::size_t>(iterations - options.start_iteration));
 
+  // Fast-forward the schedule to the resume point: apply the context in
+  // effect at start_iteration (only the last shadowing entry -- replaying
+  // intermediate contexts would needlessly perturb a surviving
+  // environment; set_context is a no-op when the context is unchanged).
   std::size_t next_switch = 0;
-  for (int iter = 0; iter < iterations; ++iter) {
+  std::size_t last_past = schedule.size();  // sentinel: none
+  while (next_switch < schedule.size() &&
+         schedule[next_switch].start_iteration < options.start_iteration) {
+    last_past = next_switch;
+    ++next_switch;
+  }
+  if (last_past != schedule.size()) {
+    environment.set_context(schedule[last_past].context);
+  }
+
+  for (int iter = options.start_iteration; iter < iterations; ++iter) {
     while (next_switch < schedule.size() &&
            schedule[next_switch].start_iteration == iter) {
       environment.set_context(schedule[next_switch].context);
@@ -102,6 +177,11 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
       agent.annotate(event);
       options.sink->emit(event);
       c_traced.add(1);
+    }
+
+    if (checkpointing && ((iter + 1) % options.checkpoint_every == 0 ||
+                          iter + 1 == iterations)) {
+      write_checkpoint(iter + 1);
     }
   }
   if (options.sink != nullptr) options.sink->flush();

@@ -46,7 +46,7 @@ struct AgentTrace {
                         double tolerance = 0.25) const;
 };
 
-/// Observability attachments for a run.
+/// Observability and persistence attachments for a run.
 struct RunOptions {
   /// One TraceEvent per iteration (state, action, measurement, reward,
   /// context-adaptation signals) is emitted here; nullptr disables tracing
@@ -55,11 +55,26 @@ struct RunOptions {
   /// Registry receiving the loop's counters/timers; nullptr means
   /// obs::default_registry().
   obs::Registry* registry = nullptr;
+  /// First iteration to run (iteration numbers are absolute, so a resumed
+  /// run's records continue the original numbering). The schedule entry in
+  /// effect at this iteration is applied before the loop starts; a
+  /// checkpoint-restored agent therefore resumes mid-schedule correctly.
+  int start_iteration = 0;
+  /// Checkpoint the agent every this many completed iterations, plus once
+  /// when the run finishes (0 disables). Requires an agent whose
+  /// save_state supports persistence and a non-empty checkpoint_path.
+  int checkpoint_every = 0;
+  /// Destination file for checkpoints; each write is atomic (temp file +
+  /// rename), so a crash mid-write preserves the previous checkpoint.
+  std::string checkpoint_path;
 };
 
-/// Run `agent` for `iterations` intervals. The schedule's context switches
-/// are applied to the environment before the matching iteration; the agent
-/// is never told.
+/// Run `agent` from `options.start_iteration` (default 0) up to
+/// `iterations`. The schedule's context switches are applied to the
+/// environment before the matching iteration; the agent is never told.
+/// Throws std::invalid_argument for malformed options (unsorted schedule,
+/// negative/oversized start_iteration, checkpointing without a path or
+/// with an agent that does not support save_state).
 AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
                      const ContextSchedule& schedule, int iterations,
                      const RunOptions& options);

@@ -1,0 +1,286 @@
+#include "core/snapshot.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "config/space.hpp"
+#include "rl/serialization.hpp"
+#include "util/lineio.hpp"
+
+namespace rac::core {
+
+namespace {
+
+constexpr const char* kSnapshotMagic = "rac-agent-snapshot";
+constexpr const char* kCheckpointMagic = "rac-checkpoint";
+constexpr int kVersion = 1;
+
+std::string bool_token(bool b) { return b ? "1" : "0"; }
+
+bool parse_bool(std::istream& is, std::string_view what) {
+  const std::uint64_t v = util::parse_u64(util::read_token(is, what), what);
+  if (v > 1) {
+    throw std::runtime_error(std::string(what) + ": flag must be 0 or 1");
+  }
+  return v == 1;
+}
+
+double read_double(std::istream& is, std::string_view what) {
+  return util::parse_double(util::read_token(is, what), what);
+}
+
+std::uint64_t read_u64(std::istream& is, std::string_view what) {
+  return util::parse_u64(util::read_token(is, what), what);
+}
+
+int read_int(std::istream& is, std::string_view what) {
+  return util::parse_int(util::read_token(is, what), what);
+}
+
+config::Configuration read_configuration(std::istream& is,
+                                         std::string_view what) {
+  std::array<int, config::kNumParams> values{};
+  for (auto& v : values) v = read_int(is, what);
+  const config::Configuration configuration(values);
+  if (configuration.values() != values) {
+    throw std::runtime_error(std::string(what) +
+                             ": configuration outside parameter ranges");
+  }
+  return configuration;
+}
+
+void write_configuration(std::ostream& os, const config::Configuration& c) {
+  const auto& values = c.values();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << util::format_i64(values[i]) << (i + 1 == values.size() ? "" : " ");
+  }
+}
+
+}  // namespace
+
+void save_agent_snapshot(std::ostream& os, const AgentSnapshot& s) {
+  os << kSnapshotMagic << " v" << kVersion << "\n";
+  os << "sla " << util::format_double(s.sla_reference_response_ms) << "\n";
+  os << "online_epsilon " << util::format_double(s.online_epsilon) << "\n";
+  os << "online_td " << util::format_double(s.online_td.alpha) << ' '
+     << util::format_double(s.online_td.gamma) << ' '
+     << util::format_double(s.online_td.epsilon) << ' '
+     << util::format_double(s.online_td.theta) << ' '
+     << util::format_i64(s.online_td.trajectory_limit) << ' '
+     << util::format_i64(s.online_td.max_sweeps) << "\n";
+  os << "violation " << util::format_u64(s.violation_window) << ' '
+     << util::format_double(s.violation_threshold) << ' '
+     << util::format_i64(s.violation_consecutive_limit) << ' '
+     << util::format_u64(s.violation_min_history) << "\n";
+  os << "online_learning " << bool_token(s.online_learning) << "\n";
+  os << "adaptive_policy_switching "
+     << bool_token(s.adaptive_policy_switching) << "\n";
+  os << "seed " << util::format_u64(s.seed) << "\n";
+  os << "library_size " << util::format_u64(s.library_size) << "\n";
+  os << "experience_blend " << util::format_double(s.experience_blend) << "\n";
+  // "-" marks the no-policy case; context tokens never collide with it.
+  os << "active_policy ";
+  if (s.has_active_policy) {
+    os << util::format_u64(s.active_policy) << ' '
+       << (s.active_policy_context.empty() ? "-" : s.active_policy_context);
+  } else {
+    os << "-1 -";
+  }
+  os << "\n";
+  os << "current ";
+  write_configuration(os, s.current);
+  os << "\n";
+  os << "first_decide " << bool_token(s.first_decide) << "\n";
+  os << "policy_switches " << util::format_i64(s.policy_switches) << "\n";
+  os << "last_selection " << util::format_i64(s.last_action_id) << ' '
+     << bool_token(s.last_explored) << ' '
+     << util::format_double(s.last_q_value) << "\n";
+  os << "last_policy_switched " << bool_token(s.last_policy_switched) << "\n";
+  os << "last_reward " << util::format_double(s.last_reward) << "\n";
+  os << "calibration " << bool_token(s.calibration_initialized) << ' '
+     << util::format_double(s.calibration_value) << "\n";
+  os << "rng";
+  for (std::uint64_t word : s.rng.words) os << ' ' << util::format_u64(word);
+  os << ' ' << bool_token(s.rng.has_cached_normal) << ' '
+     << util::format_double(s.rng.cached_normal) << "\n";
+  os << "detector " << util::format_i64(s.detector_consecutive) << ' '
+     << bool_token(s.detector_last_violation) << ' '
+     << util::format_u64(s.detector_history.size());
+  for (double v : s.detector_history) os << ' ' << util::format_double(v);
+  os << "\n";
+  os << "experience " << util::format_u64(s.experience.size()) << "\n";
+  for (const auto& entry : s.experience) {
+    write_configuration(os, entry.configuration);
+    os << ' ' << util::format_double(entry.observation.response_ms) << ' '
+       << util::format_u64(entry.observation.count) << "\n";
+  }
+  rl::save_qtable(os, s.qtable);
+  os << "end\n";
+  if (!os) throw std::ios_base::failure("save_agent_snapshot: write failed");
+}
+
+AgentSnapshot load_agent_snapshot(std::istream& is) {
+  constexpr const char* kWhat = "load_agent_snapshot";
+  const std::string magic = util::read_token(is, kWhat);
+  const std::string version = util::read_token(is, kWhat);
+  if (magic != kSnapshotMagic) {
+    throw std::runtime_error("load_agent_snapshot: not an agent snapshot");
+  }
+  if (version != "v1") {
+    throw std::runtime_error("load_agent_snapshot: unsupported version " +
+                             version);
+  }
+  AgentSnapshot s;
+  util::expect_token(is, "sla", kWhat);
+  s.sla_reference_response_ms = read_double(is, kWhat);
+  util::expect_token(is, "online_epsilon", kWhat);
+  s.online_epsilon = read_double(is, kWhat);
+  util::expect_token(is, "online_td", kWhat);
+  s.online_td.alpha = read_double(is, kWhat);
+  s.online_td.gamma = read_double(is, kWhat);
+  s.online_td.epsilon = read_double(is, kWhat);
+  s.online_td.theta = read_double(is, kWhat);
+  s.online_td.trajectory_limit = read_int(is, kWhat);
+  s.online_td.max_sweeps = read_int(is, kWhat);
+  util::expect_token(is, "violation", kWhat);
+  s.violation_window = read_u64(is, kWhat);
+  s.violation_threshold = read_double(is, kWhat);
+  s.violation_consecutive_limit = read_int(is, kWhat);
+  s.violation_min_history = read_u64(is, kWhat);
+  util::expect_token(is, "online_learning", kWhat);
+  s.online_learning = parse_bool(is, kWhat);
+  util::expect_token(is, "adaptive_policy_switching", kWhat);
+  s.adaptive_policy_switching = parse_bool(is, kWhat);
+  util::expect_token(is, "seed", kWhat);
+  s.seed = read_u64(is, kWhat);
+  util::expect_token(is, "library_size", kWhat);
+  s.library_size = read_u64(is, kWhat);
+  util::expect_token(is, "experience_blend", kWhat);
+  s.experience_blend = read_double(is, kWhat);
+  util::expect_token(is, "active_policy", kWhat);
+  {
+    const std::int64_t index =
+        util::parse_i64(util::read_token(is, kWhat), kWhat);
+    const std::string token = util::read_token(is, kWhat);
+    if (index < -1) {
+      throw std::runtime_error("load_agent_snapshot: bad policy index");
+    }
+    s.has_active_policy = index >= 0;
+    s.active_policy = s.has_active_policy ? static_cast<std::uint64_t>(index) : 0;
+    s.active_policy_context = (token == "-") ? std::string() : token;
+    if (s.has_active_policy && s.active_policy_context.empty()) {
+      throw std::runtime_error(
+          "load_agent_snapshot: active policy without a context token");
+    }
+  }
+  util::expect_token(is, "current", kWhat);
+  s.current = read_configuration(is, kWhat);
+  util::expect_token(is, "first_decide", kWhat);
+  s.first_decide = parse_bool(is, kWhat);
+  util::expect_token(is, "policy_switches", kWhat);
+  s.policy_switches = read_int(is, kWhat);
+  util::expect_token(is, "last_selection", kWhat);
+  s.last_action_id = read_int(is, kWhat);
+  if (s.last_action_id < 0 ||
+      s.last_action_id >= static_cast<int>(config::kNumActions)) {
+    throw std::runtime_error("load_agent_snapshot: action id out of range");
+  }
+  s.last_explored = parse_bool(is, kWhat);
+  s.last_q_value = read_double(is, kWhat);
+  util::expect_token(is, "last_policy_switched", kWhat);
+  s.last_policy_switched = parse_bool(is, kWhat);
+  util::expect_token(is, "last_reward", kWhat);
+  s.last_reward = read_double(is, kWhat);
+  util::expect_token(is, "calibration", kWhat);
+  s.calibration_initialized = parse_bool(is, kWhat);
+  s.calibration_value = read_double(is, kWhat);
+  util::expect_token(is, "rng", kWhat);
+  for (auto& word : s.rng.words) word = read_u64(is, kWhat);
+  s.rng.has_cached_normal = parse_bool(is, kWhat);
+  s.rng.cached_normal = read_double(is, kWhat);
+  util::expect_token(is, "detector", kWhat);
+  s.detector_consecutive = read_int(is, kWhat);
+  s.detector_last_violation = parse_bool(is, kWhat);
+  {
+    const std::uint64_t n = read_u64(is, kWhat);
+    s.detector_history.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s.detector_history.push_back(read_double(is, kWhat));
+    }
+  }
+  util::expect_token(is, "experience", kWhat);
+  {
+    const std::uint64_t n = read_u64(is, kWhat);
+    s.experience.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      rl::ExperienceEntry entry;
+      entry.configuration = read_configuration(is, kWhat);
+      entry.observation.response_ms = read_double(is, kWhat);
+      entry.observation.count = read_u64(is, kWhat);
+      s.experience.push_back(std::move(entry));
+    }
+  }
+  s.qtable = rl::load_qtable(is);
+  util::expect_token(is, "end", kWhat);
+  return s;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const RunCheckpoint& checkpoint) {
+  std::ostringstream os;
+  os << kCheckpointMagic << " v" << kVersion << "\n";
+  os << "completed " << util::format_u64(checkpoint.completed_iterations)
+     << "\n";
+  // The agent state is opaque text; a byte count delimits it so the
+  // checkpoint loader need not understand the agent's own format.
+  os << "agent_state " << util::format_u64(checkpoint.agent_state.size())
+     << "\n";
+  os << checkpoint.agent_state;
+  os << "\nend\n";
+  util::atomic_write_file(path, os.str());
+}
+
+RunCheckpoint load_checkpoint_file(const std::string& path) {
+  constexpr const char* kWhat = "load_checkpoint_file";
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::ios_base::failure("load_checkpoint_file: cannot open " + path);
+  }
+  const std::string magic = util::read_token(is, kWhat);
+  const std::string version = util::read_token(is, kWhat);
+  if (magic != kCheckpointMagic) {
+    throw std::runtime_error("load_checkpoint_file: not a checkpoint file");
+  }
+  if (version != "v1") {
+    throw std::runtime_error("load_checkpoint_file: unsupported version " +
+                             version);
+  }
+  RunCheckpoint checkpoint;
+  util::expect_token(is, "completed", kWhat);
+  checkpoint.completed_iterations = read_u64(is, kWhat);
+  util::expect_token(is, "agent_state", kWhat);
+  const std::uint64_t bytes = read_u64(is, kWhat);
+  if (is.get() != '\n') {
+    throw std::runtime_error(
+        "load_checkpoint_file: expected newline after agent_state header");
+  }
+  checkpoint.agent_state.resize(bytes);
+  is.read(checkpoint.agent_state.data(),
+          static_cast<std::streamsize>(bytes));
+  if (static_cast<std::uint64_t>(is.gcount()) != bytes) {
+    throw std::runtime_error("load_checkpoint_file: truncated agent state");
+  }
+  util::expect_token(is, "end", kWhat);
+  std::string extra;
+  if (is >> extra) {
+    throw std::runtime_error(
+        "load_checkpoint_file: trailing garbage after checkpoint: '" + extra +
+        "'");
+  }
+  return checkpoint;
+}
+
+}  // namespace rac::core

@@ -60,6 +60,22 @@ bool ViolationDetector::observe(double response_ms) {
   return false;
 }
 
+void ViolationDetector::restore(std::span<const double> history,
+                                int consecutive, bool last_violation) {
+  if (consecutive < 0 || consecutive >= opt_.consecutive_limit) {
+    throw std::invalid_argument(
+        "ViolationDetector::restore: consecutive count outside [0, limit)");
+  }
+  if (last_violation && consecutive == 0) {
+    throw std::invalid_argument(
+        "ViolationDetector::restore: violation flagged with zero streak");
+  }
+  history_.restore(history);  // throws if history exceeds the window
+  consecutive_ = consecutive;
+  last_violation_ = last_violation;
+  consecutive_gauge_->set(consecutive_);
+}
+
 void ViolationDetector::reset() {
   history_.reset();
   consecutive_ = 0;

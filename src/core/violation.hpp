@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "util/stats.hpp"
 
@@ -48,6 +50,17 @@ class ViolationDetector {
   bool last_was_violation() const noexcept { return last_violation_; }
   int consecutive_violations() const noexcept { return consecutive_; }
   const ViolationOptions& options() const noexcept { return opt_; }
+
+  /// Window contents oldest-first (for serialization).
+  std::vector<double> history() const { return history_.values(); }
+
+  /// Resume from serialized state. Throws std::invalid_argument when the
+  /// history exceeds the window, the consecutive count is outside
+  /// [0, consecutive_limit) (reaching the limit resets the detector, so a
+  /// live detector never holds it), or a violation flag is claimed with a
+  /// zero consecutive count.
+  void restore(std::span<const double> history, int consecutive,
+               bool last_violation);
 
   void reset();
 

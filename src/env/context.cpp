@@ -23,6 +23,29 @@ std::string SystemContext::name() const {
   return std::string(workload::mix_name(mix)) + "/" + level_name(level);
 }
 
+std::string context_token(const SystemContext& context) {
+  return context.name();
+}
+
+SystemContext parse_context_token(std::string_view token) {
+  const std::size_t slash = token.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("parse_context_token: missing '/' in '" +
+                                std::string(token) + "'");
+  }
+  SystemContext context;
+  context.mix = workload::parse_mix_name(token.substr(0, slash));
+  const std::string_view level = token.substr(slash + 1);
+  for (VmLevel candidate : kAllLevels) {
+    if (level == level_name(candidate)) {
+      context.level = candidate;
+      return context;
+    }
+  }
+  throw std::invalid_argument("parse_context_token: unknown level '" +
+                              std::string(level) + "'");
+}
+
 SystemContext table2_context(int number) {
   if (number < 1 || number > static_cast<int>(kTable2Contexts.size())) {
     throw std::out_of_range("table2_context: contexts are numbered 1..6");

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 
 #include "tiersim/system_params.hpp"
 #include "workload/tpcw.hpp"
@@ -37,6 +38,14 @@ struct SystemContext {
   bool operator==(const SystemContext&) const noexcept = default;
   std::string name() const;
 };
+
+/// Whitespace-free token identifying a context ("shopping/Level-1");
+/// identical to SystemContext::name(), usable in line-oriented files.
+std::string context_token(const SystemContext& context);
+
+/// Inverse of context_token. Throws std::invalid_argument for a token
+/// that names no known mix/level combination.
+SystemContext parse_context_token(std::string_view token);
 
 /// Paper Table 2: the six example contexts.
 inline constexpr std::array<SystemContext, 6> kTable2Contexts = {{

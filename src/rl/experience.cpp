@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -17,37 +18,76 @@ void ExperienceStore::record(const config::Configuration& configuration,
                              double response_ms) {
   RAC_EXPECT(std::isfinite(response_ms) && response_ms >= 0.0,
              "ExperienceStore::record: non-finite or negative response time");
-  auto& obs = store_[configuration];
-  if (obs.count == 0) {
-    obs.response_ms = response_ms;
+  const auto [it, inserted] = index_.try_emplace(configuration, entries_.size());
+  if (inserted) {
+    entries_.push_back({configuration, Observation{response_ms, 1}});
   } else {
+    Observation& obs = entries_[it->second].observation;
     obs.response_ms += blend_ * (response_ms - obs.response_ms);
+    ++obs.count;
   }
-  ++obs.count;
   if constexpr (util::kAuditEnabled) {
     // Replay validity: every stored entry must stay a finite blend of real
-    // measurements with a live observation count.
-    for (const auto& [cfg, entry] : store_) {
-      RAC_AUDIT(entry.count >= 1,
+    // measurements with a live observation count, and the index must agree
+    // with the ordered list.
+    RAC_AUDIT(index_.size() == entries_.size(),
+              "ExperienceStore: index out of sync with entry list");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto& entry = entries_[i];
+      RAC_AUDIT(entry.observation.count >= 1,
                 "ExperienceStore: entry with zero observation count");
-      RAC_AUDIT(std::isfinite(entry.response_ms) && entry.response_ms >= 0.0,
+      RAC_AUDIT(std::isfinite(entry.observation.response_ms) &&
+                    entry.observation.response_ms >= 0.0,
                 "ExperienceStore: stored response time went non-finite");
+      const auto found = index_.find(entry.configuration);
+      RAC_AUDIT(found != index_.end() && found->second == i,
+                "ExperienceStore: index entry points at wrong slot");
     }
   }
 }
 
 std::optional<double> ExperienceStore::response_ms(
     const config::Configuration& configuration) const {
-  const auto it = store_.find(configuration);
-  if (it == store_.end()) return std::nullopt;
-  return it->second.response_ms;
+  const auto it = index_.find(configuration);
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].observation.response_ms;
+}
+
+void ExperienceStore::clear() {
+  entries_.clear();
+  index_.clear();
 }
 
 std::vector<config::Configuration> ExperienceStore::configurations() const {
   std::vector<config::Configuration> out;
-  out.reserve(store_.size());
-  for (const auto& [configuration, obs] : store_) out.push_back(configuration);
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.configuration);
   return out;
+}
+
+void ExperienceStore::restore(std::vector<ExperienceEntry> entries) {
+  std::unordered_map<config::Configuration, std::size_t,
+                     config::ConfigurationHash>
+      index;
+  index.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = entries[i];
+    if (entry.observation.count == 0) {
+      throw std::invalid_argument(
+          "ExperienceStore::restore: entry with zero observation count");
+    }
+    if (!std::isfinite(entry.observation.response_ms) ||
+        entry.observation.response_ms < 0.0) {
+      throw std::invalid_argument(
+          "ExperienceStore::restore: non-finite or negative response time");
+    }
+    if (!index.try_emplace(entry.configuration, i).second) {
+      throw std::invalid_argument(
+          "ExperienceStore::restore: duplicate configuration");
+    }
+  }
+  entries_ = std::move(entries);
+  index_ = std::move(index);
 }
 
 }  // namespace rac::rl

@@ -4,10 +4,17 @@
 // measurements: the current configuration's entry is refreshed with the new
 // observation while older entries are kept (paper Section 4.2). Entries
 // blend repeat observations with an EWMA so stale measurements fade.
+//
+// Entries are kept in insertion order (first observation wins the slot) so
+// that `configurations()`/`entries()` is a deterministic function of the
+// recording history. Retraining iterates that list, so a checkpoint-restored
+// store must replay it in the same order to continue bit-identically --
+// hash-map iteration order would not survive a round trip.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +25,11 @@ namespace rac::rl {
 struct Observation {
   double response_ms = 0.0;  // blended response time
   std::size_t count = 0;     // number of measurements folded in
+};
+
+struct ExperienceEntry {
+  config::Configuration configuration;
+  Observation observation;
 };
 
 class ExperienceStore {
@@ -31,17 +43,29 @@ class ExperienceStore {
   std::optional<double> response_ms(
       const config::Configuration& configuration) const;
 
-  std::size_t size() const noexcept { return store_.size(); }
-  bool empty() const noexcept { return store_.empty(); }
-  void clear() { store_.clear(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear();
 
+  double blend() const noexcept { return blend_; }
+
+  /// Visited configurations in first-observation order.
   std::vector<config::Configuration> configurations() const;
+
+  /// Full entries in first-observation order (for serialization).
+  std::span<const ExperienceEntry> entries() const noexcept { return entries_; }
+
+  /// Resume from serialized entries, preserving their order. Throws
+  /// std::invalid_argument on duplicate configurations, zero counts, or
+  /// non-finite/negative response times.
+  void restore(std::vector<ExperienceEntry> entries);
 
  private:
   double blend_;
-  std::unordered_map<config::Configuration, Observation,
+  std::vector<ExperienceEntry> entries_;
+  std::unordered_map<config::Configuration, std::size_t,
                      config::ConfigurationHash>
-      store_;
+      index_;
 };
 
 }  // namespace rac::rl

@@ -1,0 +1,57 @@
+// Locale-immune primitives for the line-oriented persistence formats.
+//
+// Everything the checkpoint/restore subsystem writes to disk -- Q-tables,
+// agent snapshots, policy libraries -- must round-trip bit-exactly on any
+// host, under any process locale. printf "%a" / std::stod / stream
+// numeric inserters all honor the locale (LC_NUMERIC decimal point, num_get
+// thousands grouping), so a file written under de_DE is corrupt under "C"
+// and vice versa (the PR-4 serialization bug class; rac-lint rule
+// `locale-io`). These helpers route every number through
+// std::to_chars/std::from_chars, which are locale-independent by
+// specification; callers write the returned tokens as plain strings and
+// read whitespace-separated tokens back.
+//
+// Doubles are formatted as hex floats ("1.91eb851eb851fp+1"): exact
+// round-trip, no shortest-decimal ambiguity, still diffable text. The
+// parser also accepts the legacy 0x-prefixed "%a" spelling and plain
+// decimal/scientific forms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace rac::util {
+
+/// Exact hex-float rendering ("-1.8p+3"; "inf"/"nan" pass through).
+std::string format_double(double v);
+
+/// Locale-independent integer renderings.
+std::string format_i64(std::int64_t v);
+std::string format_u64(std::uint64_t v);
+
+/// Strict parsers: the whole token must be consumed. Throw
+/// std::runtime_error naming `what` on malformed input. parse_double
+/// accepts hex floats (with or without 0x prefix) and decimal forms.
+double parse_double(std::string_view token, std::string_view what);
+std::int64_t parse_i64(std::string_view token, std::string_view what);
+std::uint64_t parse_u64(std::string_view token, std::string_view what);
+/// parse_i64 range-checked into int.
+int parse_int(std::string_view token, std::string_view what);
+
+/// Next whitespace-separated token; throws std::runtime_error naming
+/// `what` on end of stream.
+std::string read_token(std::istream& is, std::string_view what);
+
+/// read_token that must equal `expected`; throws otherwise.
+void expect_token(std::istream& is, std::string_view expected,
+                  std::string_view what);
+
+/// Durable file replace: write `contents` to `path + ".tmp"`, flush, then
+/// rename over `path` (atomic on POSIX filesystems -- readers see either
+/// the old file or the complete new one, never a torn write). Throws
+/// std::ios_base::failure on any I/O error.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace rac::util

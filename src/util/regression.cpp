@@ -215,6 +215,45 @@ QuadraticSurface QuadraticSurface::fit(std::span<const double> points,
   return q;
 }
 
+QuadraticSurface QuadraticSurface::from_parts(LinearModel model,
+                                              std::size_t dim,
+                                              int per_dim_degree,
+                                              std::vector<double> means,
+                                              std::vector<double> scales) {
+  if (dim == 0) {
+    throw std::invalid_argument("QuadraticSurface::from_parts: dim == 0");
+  }
+  if (per_dim_degree < 2 || per_dim_degree > 3) {
+    throw std::invalid_argument(
+        "QuadraticSurface::from_parts: degree must be 2 or 3");
+  }
+  if (means.size() != dim || scales.size() != dim) {
+    throw std::invalid_argument(
+        "QuadraticSurface::from_parts: means/scales size != dim");
+  }
+  for (double s : scales) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument(
+          "QuadraticSurface::from_parts: non-positive scale");
+    }
+  }
+  const std::size_t width = 1 +
+                            static_cast<std::size_t>(per_dim_degree) * dim +
+                            dim * (dim - 1) / 2;
+  if (model.num_features() != width) {
+    throw std::invalid_argument(
+        "QuadraticSurface::from_parts: weight count does not match feature "
+        "map");
+  }
+  QuadraticSurface q;
+  q.model_ = std::move(model);
+  q.dim_ = dim;
+  q.degree_ = per_dim_degree;
+  q.means_ = std::move(means);
+  q.scales_ = std::move(scales);
+  return q;
+}
+
 double QuadraticSurface::predict(std::span<const double> x) const {
   RAC_EXPECT(fitted(), "QuadraticSurface::predict: model not fitted");
   if (x.size() != dim_) {

@@ -91,9 +91,21 @@ class QuadraticSurface {
                               std::span<const double> ys, double ridge = 1e-6,
                               int per_dim_degree = 2);
 
+  /// Rebuild a surface from serialized parts. Validates the invariants
+  /// `fit` guarantees -- degree in {2, 3}, means/scales sized to `dim`,
+  /// strictly positive scales, weight count matching the feature map --
+  /// and throws std::invalid_argument otherwise.
+  static QuadraticSurface from_parts(LinearModel model, std::size_t dim,
+                                     int per_dim_degree,
+                                     std::vector<double> means,
+                                     std::vector<double> scales);
+
   bool fitted() const noexcept { return model_.fitted(); }
   std::size_t dim() const noexcept { return dim_; }
   int per_dim_degree() const noexcept { return degree_; }
+  const LinearModel& model() const noexcept { return model_; }
+  std::span<const double> means() const noexcept { return means_; }
+  std::span<const double> scales() const noexcept { return scales_; }
   double predict(std::span<const double> x) const;
 
  private:

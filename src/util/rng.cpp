@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 #include "util/contracts.hpp"
 
@@ -109,5 +110,23 @@ std::size_t Rng::categorical(std::span<const double> weights) {
 }
 
 Rng Rng::split() noexcept { return Rng((*this)()); }
+
+RngState Rng::state() const noexcept {
+  RngState out;
+  out.words = s_;
+  out.cached_normal = cached_normal_;
+  out.has_cached_normal = has_cached_normal_;
+  return out;
+}
+
+void Rng::restore(const RngState& state) {
+  if (state.words[0] == 0 && state.words[1] == 0 && state.words[2] == 0 &&
+      state.words[3] == 0) {
+    throw std::invalid_argument("Rng::restore: all-zero state");
+  }
+  s_ = state.words;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
 
 }  // namespace rac::util

@@ -23,6 +23,16 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 /// what makes the pool's fan-out bit-identical to a serial run.
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
 
+/// Complete serializable engine state: the four xoshiro words plus the
+/// Box-Muller cache (`normal` computes values in pairs; dropping the
+/// cached half on restore would shift every later draw). Checkpoint code
+/// round-trips this so a restored agent continues the exact stream.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -70,6 +80,13 @@ class Rng {
 
   /// Fork an independent stream (seeded from this one).
   Rng split() noexcept;
+
+  /// Snapshot of the full engine state (stream position included).
+  RngState state() const noexcept;
+
+  /// Resume from a snapshot. Throws std::invalid_argument for an all-zero
+  /// word state (the one configuration xoshiro cannot leave).
+  void restore(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -74,6 +74,14 @@ void Ewma::reset() noexcept {
   initialized_ = false;
 }
 
+void Ewma::restore(double value, bool initialized) {
+  if (initialized && !std::isfinite(value)) {
+    throw std::invalid_argument("Ewma::restore: non-finite value");
+  }
+  value_ = initialized ? value : 0.0;
+  initialized_ = initialized;
+}
+
 SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("SlidingWindow: zero capacity");
@@ -83,6 +91,18 @@ SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
 void SlidingWindow::add(double x) {
   data_.push_back(x);
   if (data_.size() > capacity_) data_.pop_front();
+}
+
+std::vector<double> SlidingWindow::values() const {
+  return std::vector<double>(data_.begin(), data_.end());
+}
+
+void SlidingWindow::restore(std::span<const double> samples) {
+  if (samples.size() > capacity_) {
+    throw std::invalid_argument("SlidingWindow::restore: more samples than "
+                                "capacity");
+  }
+  data_.assign(samples.begin(), samples.end());
 }
 
 double SlidingWindow::mean() const noexcept {

@@ -44,8 +44,14 @@ class Ewma {
 
   void add(double x) noexcept;
   bool empty() const noexcept { return !initialized_; }
+  double alpha() const noexcept { return alpha_; }
   double value() const noexcept { return value_; }
   void reset() noexcept;
+
+  /// Resume from serialized state: `value` is adopted as the running
+  /// average when `initialized`, ignored otherwise. Throws
+  /// std::invalid_argument for a non-finite initialized value.
+  void restore(double value, bool initialized);
 
  private:
   double alpha_;
@@ -73,6 +79,13 @@ class SlidingWindow {
   double max() const noexcept;
   /// Most recent sample; window must be non-empty.
   double back() const noexcept { return data_.back(); }
+
+  /// Contents oldest-first (for serialization).
+  std::vector<double> values() const;
+
+  /// Resume from serialized contents (oldest-first). Throws
+  /// std::invalid_argument when `samples` exceeds the capacity.
+  void restore(std::span<const double> samples);
 
  private:
   std::size_t capacity_;

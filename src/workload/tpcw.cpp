@@ -1,5 +1,7 @@
 #include "workload/tpcw.hpp"
 
+#include <stdexcept>
+#include <string>
 
 namespace rac::workload {
 
@@ -75,6 +77,14 @@ std::string_view mix_name(MixType mix) noexcept {
     case MixType::kOrdering: return "ordering";
   }
   return "?";
+}
+
+MixType parse_mix_name(std::string_view name) {
+  for (MixType mix : kAllMixes) {
+    if (mix_name(mix) == name) return mix;
+  }
+  throw std::invalid_argument("parse_mix_name: unknown mix '" +
+                              std::string(name) + "'");
 }
 
 std::span<const double, kNumInteractions> mix_frequencies(MixType mix) noexcept {

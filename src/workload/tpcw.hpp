@@ -59,6 +59,10 @@ const InteractionSpec& interaction(Interaction id) noexcept;
 std::string_view interaction_name(Interaction id) noexcept;
 std::string_view mix_name(MixType mix) noexcept;
 
+/// Inverse of mix_name (used when deserializing contexts). Throws
+/// std::invalid_argument for an unknown name.
+MixType parse_mix_name(std::string_view name);
+
 /// Steady-state interaction frequencies of a mix (sums to 1); these follow
 /// the TPC-W specification's per-mix web-interaction percentages.
 std::span<const double, kNumInteractions> mix_frequencies(MixType mix) noexcept;

@@ -1,0 +1,165 @@
+// Golden crash-resume test: kill the agent mid-run, restore from the
+// checkpoint file, and require the stitched run to be bit-identical to an
+// uninterrupted one -- same IterationRecords, same decision-trace JSONL,
+// same final learner state. This is the acceptance bar for the
+// checkpoint/restore subsystem (and it runs under ASan/UBSan and RAC_AUDIT
+// via the regular ctest phases).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/policy_init.hpp"
+#include "core/rac_agent.hpp"
+#include "core/runner.hpp"
+#include "core/snapshot.hpp"
+#include "env/analytic_env.hpp"
+#include "obs/trace.hpp"
+
+namespace rac::core {
+namespace {
+
+using env::AnalyticEnv;
+using env::AnalyticEnvOptions;
+using env::SystemContext;
+using env::VmLevel;
+using workload::MixType;
+
+constexpr int kTotal = 28;
+constexpr int kCrashAt = 14;
+
+InitialPolicyLibrary small_library() {
+  PolicyInitOptions init;
+  init.offline_td.max_sweeps = 60;
+  AnalyticEnvOptions offline;
+  offline.noise_sigma = 0.0;
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, offline);
+  InitialPolicyLibrary library;
+  library.add(learn_initial_policy(env, init));
+  return library;
+}
+
+ContextSchedule test_schedule() {
+  // A context change mid-run exercises the violation detector and policy
+  // machinery across the crash boundary.
+  return {
+      {0, {MixType::kShopping, VmLevel::kLevel1}},
+      {12, {MixType::kOrdering, VmLevel::kLevel3}},
+  };
+}
+
+std::string jsonl(const obs::MemoryTraceSink& sink) {
+  std::string out;
+  for (const auto& event : sink.events()) {
+    out += obs::to_json(event);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string final_state(const RacAgent& agent) {
+  std::ostringstream os;
+  save_agent_snapshot(os, agent.snapshot());
+  return os.str();
+}
+
+TEST(CheckpointResume, StitchedRunIsBitIdenticalToUninterrupted) {
+  const InitialPolicyLibrary library = small_library();
+  const RacOptions options;  // paper constants
+  AnalyticEnvOptions live_options;
+  live_options.seed = 2024;
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "/rac_checkpoint_resume_test.rac";
+
+  // --- reference: never crashes -----------------------------------------
+  AnalyticEnv reference_env({MixType::kShopping, VmLevel::kLevel1},
+                            live_options);
+  RacAgent reference_agent(options, library, 0);
+  obs::MemoryTraceSink reference_sink;
+  RunOptions reference_run;
+  reference_run.sink = &reference_sink;
+  const AgentTrace reference = run_agent(reference_env, reference_agent,
+                                         test_schedule(), kTotal,
+                                         reference_run);
+
+  // --- leg 1: checkpointing run that "crashes" at kCrashAt ---------------
+  AnalyticEnv live_env({MixType::kShopping, VmLevel::kLevel1}, live_options);
+  RacAgent doomed_agent(options, library, 0);
+  obs::MemoryTraceSink first_sink;
+  RunOptions first_leg;
+  first_leg.sink = &first_sink;
+  first_leg.checkpoint_every = 5;
+  first_leg.checkpoint_path = checkpoint_path;
+  const AgentTrace before = run_agent(live_env, doomed_agent,
+                                      test_schedule(), kCrashAt, first_leg);
+
+  // --- leg 2: fresh agent restored from the checkpoint file --------------
+  const RunCheckpoint checkpoint = load_checkpoint_file(checkpoint_path);
+  ASSERT_EQ(checkpoint.completed_iterations,
+            static_cast<std::uint64_t>(kCrashAt));
+  std::istringstream state(checkpoint.agent_state);
+  RacAgent resumed_agent(options, library, 0);
+  resumed_agent.restore(load_agent_snapshot(state));
+  obs::MemoryTraceSink second_sink;
+  RunOptions second_leg;
+  second_leg.sink = &second_sink;
+  second_leg.start_iteration =
+      static_cast<int>(checkpoint.completed_iterations);
+  second_leg.checkpoint_every = 5;
+  second_leg.checkpoint_path = checkpoint_path;
+  const AgentTrace after = run_agent(live_env, resumed_agent,
+                                     test_schedule(), kTotal, second_leg);
+
+  // --- records: stitched == reference, bitwise ---------------------------
+  ASSERT_EQ(before.records.size() + after.records.size(),
+            reference.records.size());
+  for (std::size_t i = 0; i < reference.records.size(); ++i) {
+    const IterationRecord& got =
+        i < before.records.size() ? before.records[i]
+                                  : after.records[i - before.records.size()];
+    const IterationRecord& want = reference.records[i];
+    EXPECT_EQ(got.iteration, want.iteration);
+    EXPECT_EQ(got.configuration, want.configuration);
+    EXPECT_EQ(got.response_ms, want.response_ms) << "iteration " << i;
+    EXPECT_EQ(got.throughput_rps, want.throughput_rps);
+    EXPECT_EQ(got.context, want.context);
+  }
+
+  // --- decision trace: identical JSONL, byte for byte --------------------
+  EXPECT_EQ(jsonl(first_sink) + jsonl(second_sink), jsonl(reference_sink));
+
+  // --- final learner state: identical serialized snapshots ---------------
+  EXPECT_EQ(final_state(resumed_agent), final_state(reference_agent));
+
+  std::remove(checkpoint_path.c_str());
+}
+
+TEST(CheckpointResume, CheckpointFileIsRewrittenAsTheRunProgresses) {
+  const InitialPolicyLibrary library = small_library();
+  const RacOptions options;
+  AnalyticEnvOptions live_options;
+  live_options.seed = 7;
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "/rac_checkpoint_progress_test.rac";
+
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, live_options);
+  RacAgent agent(options, library, 0);
+  RunOptions run;
+  run.checkpoint_every = 4;
+  run.checkpoint_path = checkpoint_path;
+  run_agent(env, agent, {}, 10, run);
+
+  // The final write happens at the end of the run even though 10 is not a
+  // multiple of 4, so a clean stop never loses trailing intervals.
+  const RunCheckpoint last = load_checkpoint_file(checkpoint_path);
+  EXPECT_EQ(last.completed_iterations, 10u);
+  std::istringstream state(last.agent_state);
+  RacAgent verifier(options, library, 0);
+  EXPECT_NO_THROW(verifier.restore(load_agent_snapshot(state)));
+  std::remove(checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace rac::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "core/policy_library.hpp"
 #include "env/analytic_env.hpp"
 #include "rl/policy.hpp"
@@ -141,6 +144,44 @@ TEST(PolicyLibrary, BestMatchPicksPolicyExplainingMeasurement) {
   const Configuration c;
   EXPECT_EQ(lib.best_match(c, light_env.evaluate(c).response_ms), 0u);
   EXPECT_EQ(lib.best_match(c, heavy_env.evaluate(c).response_ms), 1u);
+}
+
+// A policy whose surface predicts the same response everywhere: weights
+// are all zero except the intercept, which carries log(response_ms).
+InitialPolicy constant_policy(double response_ms) {
+  InitialPolicy p;
+  constexpr std::size_t dim = config::kNumParams;
+  constexpr int degree = 2;
+  constexpr std::size_t features =
+      1 + static_cast<std::size_t>(degree) * dim + dim * (dim - 1) / 2;
+  std::vector<double> weights(features, 0.0);
+  weights[0] = std::log(response_ms);
+  p.surface = util::QuadraticSurface::from_parts(
+      util::LinearModel(std::move(weights)), dim, degree,
+      std::vector<double>(dim, 0.0), std::vector<double>(dim, 1.0));
+  return p;
+}
+
+TEST(PolicyLibrary, BestMatchDistinguishesSubMillisecondSurfaces) {
+  // Regression: an earlier 1.0 ms floor in the match scoring (and a 0
+  // lower bound on the surface exponent) collapsed every sub-millisecond
+  // prediction and measurement to the same score, so the library "tied"
+  // to policy 0 regardless of which surface explained the measurement.
+  InitialPolicyLibrary lib;
+  lib.add(constant_policy(0.2));
+  lib.add(constant_policy(0.6));
+  EXPECT_DOUBLE_EQ(lib.at(0).predict_response_ms(Configuration{}), 0.2);
+  EXPECT_EQ(lib.best_match(Configuration{}, 0.6), 1u);
+  EXPECT_EQ(lib.best_match(Configuration{}, 0.2), 0u);
+}
+
+TEST(PolicyLibrary, ExactScoreTiesResolveToLowestIndex) {
+  InitialPolicyLibrary lib;
+  lib.add(constant_policy(0.5));
+  lib.add(constant_policy(0.5));
+  lib.add(constant_policy(0.5));
+  EXPECT_EQ(lib.best_match(Configuration{}, 123.0), 0u);
+  EXPECT_EQ(lib.best_match(Configuration{}, 0.001), 0u);
 }
 
 TEST(PolicyLibrary, BuildLibraryTrainsEveryContext) {

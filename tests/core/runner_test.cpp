@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
 #include "baselines/static_agent.hpp"
 #include "env/analytic_env.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 
 namespace rac::core {
 namespace {
@@ -121,6 +127,132 @@ TEST(AgentTrace, SettledIterationToMinusOneMeansEndOfTrace) {
   EXPECT_EQ(trace.settled_iteration(0, 3, 5, 0.25), -1);
   // from beyond the records: nothing to settle.
   EXPECT_EQ(trace.settled_iteration(25, -1, 5, 0.25), -1);
+}
+
+// Direct transliteration of settled_iteration's documented contract
+// (O(n^2 * window)); the shipped implementation is the O(n * window)
+// prefix-sum rewrite and must agree everywhere.
+int settled_naive(const AgentTrace& t, int from, int to, int window,
+                  double tolerance) {
+  const int n = to < 0 ? static_cast<int>(t.records.size())
+                       : std::min(to, static_cast<int>(t.records.size()));
+  const int first = std::max(from, 0);
+  if (window < 1 || first + window > n) return -1;
+  for (int candidate = first; candidate + window <= n; ++candidate) {
+    bool stable = true;
+    for (int i = candidate; stable && i < n; ++i) {
+      const int lo = std::max(candidate, i - window + 1);
+      double mean = 0.0;
+      for (int j = lo; j <= i; ++j) {
+        mean += t.records[static_cast<std::size_t>(j)].response_ms;
+      }
+      mean /= static_cast<double>(i - lo + 1);
+      const double rt = t.records[static_cast<std::size_t>(i)].response_ms;
+      if (mean > 0.0 && std::abs(rt - mean) / mean > tolerance) {
+        stable = false;
+      }
+    }
+    if (stable) return candidate;
+  }
+  return -1;
+}
+
+AgentTrace trace_from(const std::vector<double>& responses) {
+  AgentTrace trace;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    IterationRecord r;
+    r.iteration = static_cast<int>(i);
+    r.response_ms = responses[i];
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+TEST(AgentTrace, SettledIterationMatchesNaiveReferenceOnRandomTraces) {
+  util::Rng rng(97);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<double> responses;
+    const int n = rng.uniform_int(0, 50);
+    const int noisy_prefix = n == 0 ? 0 : rng.uniform_int(0, n);
+    for (int i = 0; i < n; ++i) {
+      // Wild prefix, then a noisy plateau -- plus occasional pure noise.
+      const double base = i < noisy_prefix ? rng.uniform(50.0, 950.0)
+                                           : 200.0 + rng.uniform(-40.0, 40.0);
+      responses.push_back(base);
+    }
+    const AgentTrace trace = trace_from(responses);
+    for (const int window : {1, 2, 5, 8}) {
+      for (const int from : {0, 3, n / 2}) {
+        for (const int to : {-1, n / 2, n}) {
+          EXPECT_EQ(trace.settled_iteration(from, to, window, 0.25),
+                    settled_naive(trace, from, to, window, 0.25))
+              << "n=" << n << " window=" << window << " from=" << from
+              << " to=" << to;
+        }
+      }
+    }
+  }
+}
+
+TEST(AgentTrace, SettledIterationMatchesNaiveOnStepTrace) {
+  std::vector<double> responses;
+  for (int i = 0; i < 40; ++i) {
+    responses.push_back(i < 12 ? (i % 2 == 0 ? 100.0 : 900.0) : 250.0);
+  }
+  const AgentTrace trace = trace_from(responses);
+  for (int from = 0; from < 40; from += 7) {
+    for (const int window : {1, 3, 5, 10}) {
+      EXPECT_EQ(trace.settled_iteration(from, -1, window, 0.25),
+                settled_naive(trace, from, -1, window, 0.25));
+    }
+  }
+}
+
+TEST(Runner, RejectsMalformedCheckpointAndResumeOptions) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  RunOptions bad;
+  bad.checkpoint_every = 5;  // no checkpoint_path
+  EXPECT_THROW(run_agent(env, agent, {}, 10, bad), std::invalid_argument);
+  RunOptions negative;
+  negative.checkpoint_every = -1;
+  EXPECT_THROW(run_agent(env, agent, {}, 10, negative),
+               std::invalid_argument);
+  RunOptions early;
+  early.start_iteration = -1;
+  EXPECT_THROW(run_agent(env, agent, {}, 10, early), std::invalid_argument);
+  RunOptions late;
+  late.start_iteration = 11;
+  EXPECT_THROW(run_agent(env, agent, {}, 10, late), std::invalid_argument);
+}
+
+TEST(Runner, CheckpointingRejectsAgentsWithoutSaveState) {
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;  // default save_state: unsupported
+  RunOptions options;
+  options.checkpoint_every = 1;
+  options.checkpoint_path =
+      ::testing::TempDir() + "/rac_runner_nosave.rac";
+  EXPECT_THROW(run_agent(env, agent, {}, 3, options), std::invalid_argument);
+}
+
+TEST(Runner, StartIterationResumesNumberingAndSchedule) {
+  // A resumed run's records continue the absolute numbering, and the
+  // schedule entry shadowing the resume point is applied up front.
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  const ContextSchedule schedule = {
+      {0, {MixType::kShopping, VmLevel::kLevel1}},
+      {4, {MixType::kOrdering, VmLevel::kLevel3}},
+  };
+  RunOptions resume;
+  resume.start_iteration = 6;
+  const auto trace = run_agent(env, agent, schedule, 10, resume);
+  ASSERT_EQ(trace.records.size(), 4u);
+  EXPECT_EQ(trace.records.front().iteration, 6);
+  EXPECT_EQ(trace.records.back().iteration, 9);
+  EXPECT_EQ(trace.records.front().context.level, VmLevel::kLevel3);
+  EXPECT_EQ(trace.records.front().context.mix, MixType::kOrdering);
 }
 
 TEST(Runner, EmitsOneTraceEventPerIteration) {

@@ -1,0 +1,299 @@
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/policy_library.hpp"
+#include "core/rac_agent.hpp"
+#include "env/context.hpp"
+#include "util/lineio.hpp"
+#include "util/rng.hpp"
+
+namespace rac::core {
+namespace {
+
+using config::Configuration;
+using config::ParamId;
+using env::SystemContext;
+using env::VmLevel;
+using workload::MixType;
+
+// A snapshot with every field set to a distinctive, non-default value.
+AgentSnapshot sample_snapshot() {
+  AgentSnapshot s;
+  s.sla_reference_response_ms = 750.0;
+  s.online_epsilon = 0.07;
+  s.online_td = {0.2, 0.8, 0.15, 1e-4, 6, 25};
+  s.violation_window = 8;
+  s.violation_threshold = 0.4;
+  s.violation_consecutive_limit = 4;
+  s.violation_min_history = 2;
+  s.online_learning = false;
+  s.adaptive_policy_switching = false;
+  s.seed = 4242;
+  s.library_size = 3;
+  s.experience_blend = 0.35;
+  s.has_active_policy = true;
+  s.active_policy = 2;
+  s.active_policy_context = "ordering/Level-3";
+  util::Rng rng(77);
+  Configuration visited;
+  visited.set(ParamId::kMaxClients, 250);
+  s.qtable.set_default_q(-0.25);
+  s.qtable.set_q(visited, config::Action(3), 1.0 / 3.0);
+  s.experience.push_back({Configuration{}, {123.456, 4}});
+  s.experience.push_back({visited, {88.25, 1}});
+  s.detector_history = {100.0, 120.0, 95.5};
+  s.detector_consecutive = 2;
+  s.detector_last_violation = true;
+  rng.normal();  // populate the Box-Muller cache
+  s.rng = rng.state();
+  s.current = visited;
+  s.first_decide = false;
+  s.policy_switches = 5;
+  s.last_action_id = 7;
+  s.last_explored = true;
+  s.last_q_value = -1.5;
+  s.last_policy_switched = true;
+  s.last_reward = 0.625;
+  s.calibration_initialized = true;
+  s.calibration_value = 0.125;
+  return s;
+}
+
+std::string serialized(const AgentSnapshot& s) {
+  std::ostringstream os;
+  save_agent_snapshot(os, s);
+  return os.str();
+}
+
+TEST(AgentSnapshotIo, RoundTripPreservesEveryField) {
+  const AgentSnapshot s = sample_snapshot();
+  std::istringstream is(serialized(s));
+  const AgentSnapshot r = load_agent_snapshot(is);
+
+  EXPECT_EQ(r.sla_reference_response_ms, s.sla_reference_response_ms);
+  EXPECT_EQ(r.online_epsilon, s.online_epsilon);
+  EXPECT_EQ(r.online_td.alpha, s.online_td.alpha);
+  EXPECT_EQ(r.online_td.gamma, s.online_td.gamma);
+  EXPECT_EQ(r.online_td.epsilon, s.online_td.epsilon);
+  EXPECT_EQ(r.online_td.theta, s.online_td.theta);
+  EXPECT_EQ(r.online_td.trajectory_limit, s.online_td.trajectory_limit);
+  EXPECT_EQ(r.online_td.max_sweeps, s.online_td.max_sweeps);
+  EXPECT_EQ(r.violation_window, s.violation_window);
+  EXPECT_EQ(r.violation_threshold, s.violation_threshold);
+  EXPECT_EQ(r.violation_consecutive_limit, s.violation_consecutive_limit);
+  EXPECT_EQ(r.violation_min_history, s.violation_min_history);
+  EXPECT_EQ(r.online_learning, s.online_learning);
+  EXPECT_EQ(r.adaptive_policy_switching, s.adaptive_policy_switching);
+  EXPECT_EQ(r.seed, s.seed);
+  EXPECT_EQ(r.library_size, s.library_size);
+  EXPECT_EQ(r.experience_blend, s.experience_blend);
+  EXPECT_EQ(r.has_active_policy, s.has_active_policy);
+  EXPECT_EQ(r.active_policy, s.active_policy);
+  EXPECT_EQ(r.active_policy_context, s.active_policy_context);
+  EXPECT_EQ(r.qtable.size(), s.qtable.size());
+  EXPECT_EQ(r.qtable.default_q(), s.qtable.default_q());
+  ASSERT_EQ(r.experience.size(), s.experience.size());
+  for (std::size_t i = 0; i < s.experience.size(); ++i) {
+    EXPECT_EQ(r.experience[i].configuration, s.experience[i].configuration);
+    EXPECT_EQ(r.experience[i].observation.response_ms,
+              s.experience[i].observation.response_ms);
+    EXPECT_EQ(r.experience[i].observation.count,
+              s.experience[i].observation.count);
+  }
+  EXPECT_EQ(r.detector_history, s.detector_history);
+  EXPECT_EQ(r.detector_consecutive, s.detector_consecutive);
+  EXPECT_EQ(r.detector_last_violation, s.detector_last_violation);
+  EXPECT_EQ(r.rng.words, s.rng.words);
+  EXPECT_EQ(r.rng.has_cached_normal, s.rng.has_cached_normal);
+  EXPECT_EQ(r.rng.cached_normal, s.rng.cached_normal);
+  EXPECT_EQ(r.current, s.current);
+  EXPECT_EQ(r.first_decide, s.first_decide);
+  EXPECT_EQ(r.policy_switches, s.policy_switches);
+  EXPECT_EQ(r.last_action_id, s.last_action_id);
+  EXPECT_EQ(r.last_explored, s.last_explored);
+  EXPECT_EQ(r.last_q_value, s.last_q_value);
+  EXPECT_EQ(r.last_policy_switched, s.last_policy_switched);
+  EXPECT_EQ(r.last_reward, s.last_reward);
+  EXPECT_EQ(r.calibration_initialized, s.calibration_initialized);
+  EXPECT_EQ(r.calibration_value, s.calibration_value);
+}
+
+TEST(AgentSnapshotIo, NoActivePolicyRoundTrips) {
+  AgentSnapshot s;  // defaults: no active policy, empty everything
+  s.library_size = 0;
+  std::istringstream is(serialized(s));
+  const AgentSnapshot r = load_agent_snapshot(is);
+  EXPECT_FALSE(r.has_active_policy);
+  EXPECT_TRUE(r.active_policy_context.empty());
+  EXPECT_TRUE(r.experience.empty());
+  EXPECT_TRUE(r.detector_history.empty());
+}
+
+TEST(AgentSnapshotIo, RejectsForeignMagicAndVersion) {
+  std::istringstream foreign("not-a-snapshot v1\n");
+  EXPECT_THROW(load_agent_snapshot(foreign), std::runtime_error);
+  std::istringstream unsupported("rac-agent-snapshot v9\n");
+  EXPECT_THROW(load_agent_snapshot(unsupported), std::runtime_error);
+}
+
+TEST(AgentSnapshotIo, RejectsTruncatedInput) {
+  const std::string text = serialized(sample_snapshot());
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    std::istringstream is(
+        text.substr(0, static_cast<std::size_t>(text.size() * fraction)));
+    EXPECT_THROW(load_agent_snapshot(is), std::runtime_error) << fraction;
+  }
+}
+
+TEST(AgentSnapshotIo, RejectsCommaDecimalValue) {
+  // The locale bug this PR removes: "1,5" must be malformed, not "1".
+  std::string text = serialized(sample_snapshot());
+  const std::string key = "online_epsilon ";
+  const std::size_t pos = text.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos + key.size(), eol - pos - key.size(), "1,5");
+  std::istringstream is(text);
+  EXPECT_THROW(load_agent_snapshot(is), std::runtime_error);
+}
+
+TEST(AgentSnapshotIo, RejectsCorruptFlagsAndRanges) {
+  // Boolean flag outside {0, 1}.
+  std::string text = serialized(sample_snapshot());
+  const std::size_t flag = text.find("first_decide 0");
+  ASSERT_NE(flag, std::string::npos);
+  std::string bad_flag = text;
+  bad_flag.replace(flag, std::string("first_decide 0").size(),
+                   "first_decide 2");
+  std::istringstream flag_is(bad_flag);
+  EXPECT_THROW(load_agent_snapshot(flag_is), std::runtime_error);
+
+  // Action id outside the action set.
+  const std::size_t sel = text.find("last_selection 7");
+  ASSERT_NE(sel, std::string::npos);
+  std::string bad_action = text;
+  bad_action.replace(sel, std::string("last_selection 7").size(),
+                     "last_selection 99");
+  std::istringstream action_is(bad_action);
+  EXPECT_THROW(load_agent_snapshot(action_is), std::runtime_error);
+
+  // An active policy index must carry a context token.
+  const std::size_t ap = text.find("active_policy 2 ordering/Level-3");
+  ASSERT_NE(ap, std::string::npos);
+  std::string bad_policy = text;
+  bad_policy.replace(ap, std::string("active_policy 2 ordering/Level-3").size(),
+                     "active_policy 2 -");
+  std::istringstream policy_is(bad_policy);
+  EXPECT_THROW(load_agent_snapshot(policy_is), std::runtime_error);
+}
+
+// --- checkpoint files -------------------------------------------------------
+
+TEST(CheckpointIo, RoundTripPreservesOpaqueStateBytes) {
+  const std::string path = ::testing::TempDir() + "/rac_checkpoint_rt.rac";
+  RunCheckpoint original;
+  original.completed_iterations = 17;
+  // Deliberately awkward payload: newlines, token-like words, no trailer.
+  original.agent_state = "line one\nend\nstates 3\n  spaced tokens ";
+  write_checkpoint_file(path, original);
+  const RunCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.completed_iterations, original.completed_iterations);
+  EXPECT_EQ(loaded.agent_state, original.agent_state);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIo, MissingFileThrowsIosFailure) {
+  EXPECT_THROW(load_checkpoint_file("/nonexistent/dir/cp.rac"),
+               std::ios_base::failure);
+}
+
+TEST(CheckpointIo, RejectsTrailingGarbageAndTruncation) {
+  const std::string path = ::testing::TempDir() + "/rac_checkpoint_bad.rac";
+  RunCheckpoint checkpoint;
+  checkpoint.completed_iterations = 3;
+  checkpoint.agent_state = "opaque agent state";
+  write_checkpoint_file(path, checkpoint);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  util::atomic_write_file(path, text + "extra\n");
+  EXPECT_THROW(load_checkpoint_file(path), std::runtime_error);
+
+  // A byte count larger than the remaining file is a truncated state.
+  util::atomic_write_file(path, text.substr(0, text.size() - 10));
+  EXPECT_THROW(load_checkpoint_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- RacAgent::restore validation -------------------------------------------
+
+InitialPolicyLibrary synthetic_library(const SystemContext& context) {
+  InitialPolicy policy;
+  policy.context = context;
+  InitialPolicyLibrary library;
+  library.add(policy);
+  return library;
+}
+
+TEST(RacAgentRestore, RejectsHyperparameterDrift) {
+  const RacOptions options;
+  RacAgent donor(options, {});
+  const AgentSnapshot snapshot = donor.snapshot();
+  RacOptions drifted = options;
+  drifted.online_epsilon = 0.2;
+  RacAgent agent(drifted, {});
+  EXPECT_THROW(agent.restore(snapshot), std::invalid_argument);
+  // The same snapshot restores fine under matching options.
+  RacAgent twin(options, {});
+  EXPECT_NO_THROW(twin.restore(snapshot));
+}
+
+TEST(RacAgentRestore, RejectsLibrarySizeMismatch) {
+  const RacOptions options;
+  RacAgent donor(options, {});  // empty library
+  const AgentSnapshot snapshot = donor.snapshot();
+  RacAgent agent(options, synthetic_library(
+                              {MixType::kShopping, VmLevel::kLevel1}));
+  EXPECT_THROW(agent.restore(snapshot), std::invalid_argument);
+}
+
+TEST(RacAgentRestore, RejectsActivePolicyContextMismatch) {
+  const RacOptions options;
+  RacAgent donor(options, synthetic_library(
+                              {MixType::kShopping, VmLevel::kLevel1}));
+  const AgentSnapshot snapshot = donor.snapshot();
+  ASSERT_TRUE(snapshot.has_active_policy);
+  EXPECT_EQ(snapshot.active_policy_context, "shopping/Level-1");
+
+  // Same library size, different context at the active index: the index
+  // would silently point at the wrong policy after a library rebuild.
+  RacAgent agent(options, synthetic_library(
+                              {MixType::kOrdering, VmLevel::kLevel3}));
+  EXPECT_THROW(agent.restore(snapshot), std::invalid_argument);
+}
+
+TEST(RacAgentRestore, FailedRestoreLeavesAgentUsable) {
+  const RacOptions options;
+  RacAgent agent(options, {});
+  const AgentSnapshot before = agent.snapshot();
+  AgentSnapshot corrupt = before;
+  corrupt.detector_consecutive = 999;  // detector restore throws
+  EXPECT_THROW(agent.restore(corrupt), std::invalid_argument);
+  // State is untouched: a fresh snapshot still matches the original.
+  const AgentSnapshot after = agent.snapshot();
+  EXPECT_EQ(after.rng.words, before.rng.words);
+  EXPECT_EQ(after.first_decide, before.first_decide);
+}
+
+}  // namespace
+}  // namespace rac::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace rac::env {
 namespace {
 
@@ -44,6 +47,27 @@ TEST(Context, Table2OutOfRangeThrows) {
 TEST(Context, NamesAreReadable) {
   EXPECT_EQ(table2_context(1).name(), "shopping/Level-1");
   EXPECT_EQ(level_name(VmLevel::kLevel3), "Level-3");
+}
+
+TEST(Context, TokenRoundTripsEveryMixLevelCombination) {
+  for (workload::MixType mix : workload::kAllMixes) {
+    for (VmLevel level : kAllLevels) {
+      const SystemContext context{mix, level};
+      const std::string token = context_token(context);
+      EXPECT_EQ(token, context.name());
+      EXPECT_EQ(token.find(' '), std::string::npos) << token;
+      EXPECT_EQ(parse_context_token(token), context);
+    }
+  }
+}
+
+TEST(Context, ParseTokenRejectsUnknownNames) {
+  EXPECT_THROW(parse_context_token("shopping"), std::invalid_argument);
+  EXPECT_THROW(parse_context_token("surfing/Level-1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_context_token("shopping/Level-9"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_context_token(""), std::invalid_argument);
 }
 
 TEST(Context, Equality) {

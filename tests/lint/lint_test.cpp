@@ -120,6 +120,22 @@ TEST(LintRules, IncludeHygieneFiresOnPathTraversal) {
   EXPECT_EQ(count_rule(findings, "include-hygiene"), 1);
 }
 
+TEST(LintRules, LocaleIoFiresOnParsersAndFloatFormats) {
+  const auto findings =
+      lint_fixture("locale_io.cpp", "src/rl/fixture.cpp");
+  // stod, strtod, atof, setlocale (code rule) + snprintf "%a",
+  // sscanf "%lf" (raw rule).
+  EXPECT_EQ(count_rule(findings, "locale-io"), 6);
+}
+
+TEST(LintRules, LocaleIoIgnoresNonFloatConversions) {
+  const auto findings = rac::lint::lint_text(
+      "src/obs/fixture.cpp",
+      "void f(char* b, unsigned c) {"
+      " std::snprintf(b, 8, \"\\\\u%04x\", c); }\n");
+  EXPECT_EQ(count_rule(findings, "locale-io"), 0);
+}
+
 TEST(LintRules, FloatEqFiresOnBothOperandOrders) {
   const auto findings =
       lint_fixture("float_eq.cpp", "src/queueing/fixture.cpp");
@@ -160,11 +176,11 @@ TEST(LintRuleTable, IdsAreUniqueAndFindingsReferToThem) {
   std::set<std::string_view> ids;
   for (const auto& rule : rac::lint::rules()) ids.insert(rule.id);
   EXPECT_EQ(ids.size(), rac::lint::rules().size());
-  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(ids.size(), 9u);
   for (const std::string fixture :
        {"rand.cpp", "wall_clock.cpp", "default_registry.cpp",
         "raw_assert.cpp", "iostream.cpp", "include_hygiene.cpp",
-        "float_eq.cpp", "suppressed.cpp"}) {
+        "float_eq.cpp", "locale_io.cpp", "suppressed.cpp"}) {
     for (const auto& f : lint_fixture(fixture, "src/core/fixture.cpp")) {
       EXPECT_TRUE(ids.count(f.rule)) << fixture << " -> " << f.rule;
     }

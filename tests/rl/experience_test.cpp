@@ -88,5 +88,67 @@ TEST(ExperienceStore, RejectsNonFiniteOrNegativeResponse) {
   EXPECT_TRUE(store.empty());
 }
 
+TEST(ExperienceStore, EntriesKeepFirstObservationOrder) {
+  ExperienceStore store(0.5);
+  Configuration a;
+  Configuration b;
+  b.set(ParamId::kMaxClients, 400);
+  Configuration c;
+  c.set(ParamId::kMaxClients, 250);
+  store.record(b, 1.0);
+  store.record(a, 2.0);
+  store.record(c, 3.0);
+  store.record(b, 5.0);  // repeat must not move b to the back
+
+  const auto configs = store.configurations();
+  ASSERT_EQ(configs.size(), 3u);
+  EXPECT_EQ(configs[0], b);
+  EXPECT_EQ(configs[1], a);
+  EXPECT_EQ(configs[2], c);
+  const auto entries = store.entries();
+  EXPECT_EQ(entries[0].observation.count, 2u);
+  EXPECT_DOUBLE_EQ(entries[0].observation.response_ms, 3.0);
+}
+
+TEST(ExperienceStore, RestoreRoundTripsEntriesAndBlending) {
+  ExperienceStore original(0.5);
+  Configuration a;
+  Configuration b;
+  b.set(ParamId::kMaxClients, 400);
+  original.record(a, 100.0);
+  original.record(b, 300.0);
+  original.record(a, 200.0);
+
+  ExperienceStore resumed(0.5);
+  resumed.restore({original.entries().begin(), original.entries().end()});
+  EXPECT_EQ(resumed.size(), original.size());
+  EXPECT_EQ(resumed.configurations(), original.configurations());
+  EXPECT_DOUBLE_EQ(*resumed.response_ms(a), *original.response_ms(a));
+  // Later blends continue identically (count and value both restored).
+  original.record(a, 400.0);
+  resumed.record(a, 400.0);
+  EXPECT_DOUBLE_EQ(*resumed.response_ms(a), *original.response_ms(a));
+}
+
+TEST(ExperienceStore, RestoreRejectsCorruptEntries) {
+  ExperienceStore store;
+  Configuration a;
+  ExperienceEntry good{a, {100.0, 1}};
+  // Duplicate configuration.
+  EXPECT_THROW(store.restore({good, good}), std::invalid_argument);
+  // Zero observation count.
+  ExperienceEntry zero_count{a, {100.0, 0}};
+  EXPECT_THROW(store.restore({zero_count}), std::invalid_argument);
+  // Non-finite / negative blended response.
+  ExperienceEntry nan_entry{
+      a, {std::numeric_limits<double>::quiet_NaN(), 1}};
+  EXPECT_THROW(store.restore({nan_entry}), std::invalid_argument);
+  ExperienceEntry negative{a, {-5.0, 1}};
+  EXPECT_THROW(store.restore({negative}), std::invalid_argument);
+  // A failed restore leaves the store usable.
+  store.restore({good});
+  EXPECT_EQ(store.size(), 1u);
+}
+
 }  // namespace
 }  // namespace rac::rl

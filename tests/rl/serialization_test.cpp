@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdio>
+#include <fstream>
+#include <locale>
 #include <sstream>
 
 #include "util/rng.hpp"
@@ -90,6 +93,169 @@ TEST(Serialization, FileRoundTrip) {
 TEST(Serialization, MissingFileThrows) {
   EXPECT_THROW(load_qtable_file("/nonexistent/dir/qtable.txt"),
                std::ios_base::failure);
+}
+
+TEST(Serialization, WritesV2WithEndTrailer) {
+  const QTable table = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, table);
+  const std::string text = stream.str();
+  EXPECT_EQ(text.rfind("rac-qtable v2\n", 0), 0u);
+  EXPECT_EQ(text.substr(text.size() - 4), "end\n");
+}
+
+TEST(Serialization, OutputIsByteStable) {
+  // Sorted rows + canonical tokens: the serialized form is a pure function
+  // of the table contents, not of hash-map iteration order.
+  const QTable table = sample_table();
+  std::stringstream first;
+  std::stringstream second;
+  save_qtable(first, table);
+  save_qtable(second, table);
+  EXPECT_EQ(first.str(), second.str());
+
+  std::stringstream reload_stream(first.str());
+  const QTable reloaded = load_qtable(reload_stream);
+  std::stringstream third;
+  save_qtable(third, reloaded);
+  EXPECT_EQ(third.str(), first.str());
+}
+
+TEST(Serialization, TablesCanBeEmbeddedBackToBack) {
+  const QTable table = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, table);
+  stream << "tail-token\n";
+  const QTable loaded = load_qtable(stream);
+  EXPECT_EQ(loaded.size(), table.size());
+  // The loader stops exactly at "end"; the embedding caller sees the rest.
+  std::string next;
+  stream >> next;
+  EXPECT_EQ(next, "tail-token");
+}
+
+TEST(Serialization, LoadsLegacyV1PrintfHexFloats) {
+  // v1 files were written with printf "%a" (0x-prefixed hex floats) and
+  // have no "end" trailer. Craft one by hand and check exact values.
+  util::Rng rng(3);
+  const auto state = config::ConfigSpace::random_fine(rng);
+  std::ostringstream os;
+  os << "rac-qtable v1\n";
+  os << "default_q -0x1p-1\n";  // -0.5
+  os << "states 1\n";
+  for (int v : state.values()) os << v << ' ';
+  for (std::size_t a = 0; a < config::kNumActions; ++a) {
+    os << "0x1.8p+0" << (a + 1 == config::kNumActions ? "\n" : " ");
+  }
+  std::istringstream is(os.str());
+  const QTable loaded = load_qtable(is);
+  EXPECT_DOUBLE_EQ(loaded.default_q(), -0.5);
+  ASSERT_EQ(loaded.size(), 1u);
+  for (std::size_t a = 0; a < config::kNumActions; ++a) {
+    EXPECT_DOUBLE_EQ(loaded.q(state, config::Action(static_cast<int>(a))),
+                     1.5);
+  }
+}
+
+TEST(Serialization, RejectsDuplicateStateRows) {
+  // A duplicate row would silently shadow the earlier values.
+  util::Rng rng(3);
+  const auto state = config::ConfigSpace::random_fine(rng);
+  std::ostringstream row;
+  for (int v : state.values()) row << v << ' ';
+  for (std::size_t a = 0; a < config::kNumActions; ++a) {
+    row << "1p+0" << (a + 1 == config::kNumActions ? "\n" : " ");
+  }
+  std::stringstream stream;
+  stream << "rac-qtable v2\ndefault_q 0p+0\nstates 2\n"
+         << row.str() << row.str() << "end\n";
+  EXPECT_THROW(load_qtable(stream), std::runtime_error);
+}
+
+TEST(Serialization, FileLoadRejectsTrailingGarbage) {
+  const QTable table = sample_table();
+  const std::string path = ::testing::TempDir() + "/rac_qtable_garbage.txt";
+  save_qtable_file(path, table);
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "garbage-after-end\n";
+  }
+  EXPECT_THROW(load_qtable_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- locale immunity (the PR-4 serialization bug class) ---------------------
+
+TEST(Serialization, RoundTripSurvivesCommaDecimalCLocale) {
+  // Under de_DE/fr_FR, printf("%a")-era code wrote "0x1,8p+0" and stod
+  // read "1.5" as 1; to_chars/from_chars ignore the locale entirely.
+  const char* candidates[] = {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE",
+                              "fr_FR", "de_DE.utf8", "fr_FR.utf8"};
+  const char* engaged_name = nullptr;
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      engaged_name = name;
+      break;
+    }
+  }
+  if (engaged_name == nullptr) {
+    std::setlocale(LC_ALL, "C");
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+  const QTable original = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, original);
+  const QTable loaded = load_qtable(stream);
+  std::setlocale(LC_ALL, "C");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (const auto& state : original.states()) {
+    for (std::size_t a = 0; a < config::kNumActions; ++a) {
+      const config::Action action(static_cast<int>(a));
+      EXPECT_EQ(loaded.q(state, action), original.q(state, action));
+    }
+  }
+}
+
+// A numpunct facet that mimics a comma-decimal locale without needing one
+// installed: '.'->',' plus thousands grouping. Installed as the GLOBAL C++
+// locale, it poisons every default-constructed stream -- exactly what made
+// the v1 "states 1500" header come out as "states 1.500" on some hosts.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+class ScopedGlobalLocale {
+ public:
+  explicit ScopedGlobalLocale(const std::locale& loc) : saved_(loc) {}
+  ~ScopedGlobalLocale() { std::locale::global(saved_); }
+
+ private:
+  std::locale saved_;
+};
+
+TEST(Serialization, RoundTripSurvivesCommaGlobalCppLocale) {
+  ScopedGlobalLocale guard(std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct)));
+  // >1000 states so a locale-honoring count would serialize as "1.500".
+  QTable original;
+  original.set_default_q(0.25);
+  util::Rng rng(5);
+  while (original.size() < 1500) {
+    const auto state = config::ConfigSpace::random_fine(rng);
+    original.set_q(state, config::Action(0), rng.normal(0.0, 3.0));
+  }
+  std::stringstream stream;  // picks up the poisoned global locale
+  save_qtable(stream, original);
+  EXPECT_NE(stream.str().find("states 1500\n"), std::string::npos);
+  const QTable loaded = load_qtable(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (const auto& state : original.states()) {
+    EXPECT_EQ(loaded.q(state, config::Action(0)),
+              original.q(state, config::Action(0)));
+  }
 }
 
 }  // namespace

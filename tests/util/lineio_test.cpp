@@ -1,0 +1,131 @@
+#include "util/lineio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace rac::util {
+namespace {
+
+TEST(LineIo, FormatDoubleRoundTripsExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          1.5,
+                          -2.75,
+                          0.1,
+                          1.0 / 3.0,
+                          3.141592653589793,
+                          1e-300,
+                          -1e300,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::epsilon()};
+  for (const double v : cases) {
+    const std::string token = format_double(v);
+    const double back = parse_double(token, "test");
+    // Bit-exact, including the sign of zero.
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << token;
+    EXPECT_EQ(back, v) << token;
+  }
+}
+
+TEST(LineIo, FormatDoubleEmitsHexWithoutPrefix) {
+  // to_chars hex format: mantissa 'p' exponent, no "0x".
+  const std::string token = format_double(1.5);
+  EXPECT_EQ(token, "1.8p+0");
+}
+
+TEST(LineIo, ParseDoubleAcceptsLegacyPrintfHex) {
+  // v1 files wrote printf "%a" spellings, 0x prefix included.
+  EXPECT_EQ(parse_double("0x1.8p+0", "test"), 1.5);
+  EXPECT_EQ(parse_double("-0x1.8p+0", "test"), -1.5);
+  EXPECT_EQ(parse_double("+0x1p-1", "test"), 0.5);
+  EXPECT_EQ(parse_double("0X1P+3", "test"), 8.0);
+}
+
+TEST(LineIo, ParseDoubleAcceptsDecimalForms) {
+  EXPECT_EQ(parse_double("1.25", "test"), 1.25);
+  EXPECT_EQ(parse_double("-3", "test"), -3.0);
+  EXPECT_EQ(parse_double("2e3", "test"), 2000.0);
+}
+
+TEST(LineIo, ParseDoubleHandlesNonFinite) {
+  EXPECT_TRUE(std::isinf(parse_double(format_double(
+                  std::numeric_limits<double>::infinity()), "test")));
+  EXPECT_TRUE(std::isnan(parse_double(format_double(
+                  std::numeric_limits<double>::quiet_NaN()), "test")));
+}
+
+TEST(LineIo, ParseDoubleRejectsMalformedTokens) {
+  for (const char* bad : {"", "x", "1.5x", "1,5", "0x", "p+0", "--1",
+                          "1.5 ", "0x1.8p+0z"}) {
+    EXPECT_THROW(parse_double(bad, "ctx"), std::runtime_error) << bad;
+  }
+}
+
+TEST(LineIo, ParseErrorsNameTheCaller) {
+  try {
+    parse_double("bogus", "load_qtable row 3");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("load_qtable row 3"),
+              std::string::npos);
+  }
+}
+
+TEST(LineIo, IntegerRoundTrips) {
+  EXPECT_EQ(parse_i64(format_i64(-42), "test"), -42);
+  EXPECT_EQ(parse_i64(format_i64(std::numeric_limits<std::int64_t>::min()),
+                      "test"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_u64(format_u64(std::numeric_limits<std::uint64_t>::max()),
+                      "test"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(LineIo, IntegerParsersRejectMalformedTokens) {
+  EXPECT_THROW(parse_i64("12x", "ctx"), std::runtime_error);
+  EXPECT_THROW(parse_i64("", "ctx"), std::runtime_error);
+  EXPECT_THROW(parse_u64("-1", "ctx"), std::runtime_error);
+  EXPECT_THROW(parse_int("3000000000", "ctx"), std::runtime_error);
+  EXPECT_EQ(parse_int("-7", "ctx"), -7);
+}
+
+TEST(LineIo, ReadTokenThrowsAtEndOfStream) {
+  std::istringstream is("one two");
+  EXPECT_EQ(read_token(is, "ctx"), "one");
+  EXPECT_EQ(read_token(is, "ctx"), "two");
+  EXPECT_THROW(read_token(is, "ctx"), std::runtime_error);
+}
+
+TEST(LineIo, ExpectTokenMismatchThrows) {
+  std::istringstream is("actual");
+  EXPECT_THROW(expect_token(is, "expected", "ctx"), std::runtime_error);
+}
+
+TEST(LineIo, AtomicWriteFileReplacesContentsAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "/rac_lineio_atomic.txt";
+  atomic_write_file(path, "first");
+  atomic_write_file(path, "second");
+  std::ifstream is(path);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "second");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(LineIo, AtomicWriteFileThrowsOnUnwritableDirectory) {
+  EXPECT_THROW(atomic_write_file("/nonexistent/dir/file.txt", "x"),
+               std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace rac::util

@@ -157,5 +157,58 @@ TEST(QuadraticSurface, PredictRejectsDimensionMismatch) {
                std::invalid_argument);
 }
 
+TEST(QuadraticSurface, FromPartsReproducesFittedPredictions) {
+  // Fit a 2-D surface, tear it into serializable parts, rebuild, and
+  // check predictions match bitwise (this is the library-load path).
+  std::vector<double> points;
+  std::vector<double> ys;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    points.push_back(a);
+    points.push_back(b);
+    ys.push_back(1.0 + a * a - 0.5 * b + a * b);
+  }
+  const auto fitted = QuadraticSurface::fit(points, 2, ys);
+  const auto rebuilt = QuadraticSurface::from_parts(
+      fitted.model(), fitted.dim(), fitted.per_dim_degree(),
+      {fitted.means().begin(), fitted.means().end()},
+      {fitted.scales().begin(), fitted.scales().end()});
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> probe = {rng.uniform(-2.0, 2.0),
+                                       rng.uniform(-2.0, 2.0)};
+    EXPECT_EQ(rebuilt.predict(probe), fitted.predict(probe));
+  }
+}
+
+TEST(QuadraticSurface, FromPartsValidatesEveryInvariant) {
+  // dim 2, degree 2 => 1 + 2*2 + 1 = 6 features.
+  const LinearModel good(std::vector<double>(6, 0.5));
+  const std::vector<double> means = {0.0, 0.0};
+  const std::vector<double> scales = {1.0, 1.0};
+  EXPECT_NO_THROW(QuadraticSurface::from_parts(good, 2, 2, means, scales));
+  // Zero dimension.
+  EXPECT_THROW(QuadraticSurface::from_parts(good, 0, 2, {}, {}),
+               std::invalid_argument);
+  // Degree outside {2, 3}.
+  EXPECT_THROW(QuadraticSurface::from_parts(good, 2, 1, means, scales),
+               std::invalid_argument);
+  // means/scales sized to the wrong dimension.
+  EXPECT_THROW(QuadraticSurface::from_parts(good, 2, 2, {0.0}, scales),
+               std::invalid_argument);
+  EXPECT_THROW(QuadraticSurface::from_parts(good, 2, 2, means, {1.0}),
+               std::invalid_argument);
+  // Non-positive scale would divide by zero in the feature map.
+  EXPECT_THROW(
+      QuadraticSurface::from_parts(good, 2, 2, means, {1.0, 0.0}),
+      std::invalid_argument);
+  // Weight count not matching the feature map.
+  const LinearModel short_model(std::vector<double>(5, 0.5));
+  EXPECT_THROW(
+      QuadraticSurface::from_parts(short_model, 2, 2, means, scales),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rac::util

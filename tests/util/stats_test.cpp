@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -148,6 +149,59 @@ TEST(MeanOf, HandlesEmptyAndValues) {
   EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
   const std::vector<double> v = {1.0, 2.0, 6.0};
   EXPECT_DOUBLE_EQ(mean_of(v), 3.0);
+}
+
+TEST(Ewma, RestoreResumesTheAverage) {
+  Ewma original(0.25);
+  original.add(100.0);
+  original.add(200.0);
+
+  Ewma resumed(0.25);
+  resumed.restore(original.value(), !original.empty());
+  EXPECT_FALSE(resumed.empty());
+  EXPECT_DOUBLE_EQ(resumed.value(), original.value());
+  original.add(50.0);
+  resumed.add(50.0);
+  EXPECT_DOUBLE_EQ(resumed.value(), original.value());
+}
+
+TEST(Ewma, RestoreUninitializedIgnoresValue) {
+  Ewma e(0.5);
+  e.add(10.0);
+  e.restore(999.0, false);
+  EXPECT_TRUE(e.empty());
+  e.add(3.0);
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);  // first sample, not blended with 999
+}
+
+TEST(Ewma, RestoreRejectsNonFiniteInitializedValue) {
+  Ewma e(0.5);
+  EXPECT_THROW(e.restore(std::numeric_limits<double>::quiet_NaN(), true),
+               std::invalid_argument);
+  // Non-finite is fine when the state says "no samples yet".
+  e.restore(std::numeric_limits<double>::quiet_NaN(), false);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(SlidingWindow, ValuesAreOldestFirstAndRestoreRoundTrips) {
+  SlidingWindow original(3);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) original.add(x);  // 1.0 evicted
+  EXPECT_EQ(original.values(), (std::vector<double>{2.0, 3.0, 4.0}));
+
+  SlidingWindow resumed(3);
+  resumed.restore(original.values());
+  EXPECT_EQ(resumed.values(), original.values());
+  EXPECT_DOUBLE_EQ(resumed.mean(), original.mean());
+  // Eviction order must continue identically.
+  original.add(5.0);
+  resumed.add(5.0);
+  EXPECT_EQ(resumed.values(), original.values());
+}
+
+TEST(SlidingWindow, RestoreRejectsOversizedHistory) {
+  SlidingWindow w(2);
+  const std::vector<double> three = {1.0, 2.0, 3.0};
+  EXPECT_THROW(w.restore(three), std::invalid_argument);
 }
 
 TEST(RSquared, PerfectFitIsOne) {

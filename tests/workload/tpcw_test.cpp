@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace rac::workload {
 namespace {
 
@@ -99,6 +101,15 @@ TEST(Tpcw, MixNames) {
   EXPECT_EQ(mix_name(MixType::kBrowsing), "browsing");
   EXPECT_EQ(mix_name(MixType::kShopping), "shopping");
   EXPECT_EQ(mix_name(MixType::kOrdering), "ordering");
+}
+
+TEST(Tpcw, ParseMixNameInvertsMixName) {
+  for (MixType mix : kAllMixes) {
+    EXPECT_EQ(parse_mix_name(mix_name(mix)), mix);
+  }
+  EXPECT_THROW(parse_mix_name("buying"), std::invalid_argument);
+  EXPECT_THROW(parse_mix_name(""), std::invalid_argument);
+  EXPECT_THROW(parse_mix_name("Shopping"), std::invalid_argument);
 }
 
 }  // namespace

@@ -178,6 +178,26 @@ const std::vector<LineRule>& line_rules() {
         {},
         /*match_raw=*/true});
     r.push_back(LineRule{
+        "locale-io",
+        std::regex(
+            R"(\bstd\s*::\s*(stod|stof|stold)\b|\b(strtod|strtof|strtold|atof)\s*\(|\bsetlocale\s*\()"),
+        "locale-sensitive numeric parsing (result depends on the process "
+        "locale); use util/lineio parse_double/std::from_chars",
+        {},
+        {}});
+    // Same rule id, second pattern: printf/scanf-family calls with a
+    // floating-point conversion in the format string. Needs the raw line
+    // (the stripper blanks string literals, taking the "%a" with it).
+    r.push_back(LineRule{
+        "locale-io",
+        std::regex(
+            R"(\b((f|s|sn|v|vf|vs|vsn)?printf|(f|s|v|vf|vs)?scanf)\s*\(.*"[^"]*%[-+ #'0-9.*]*(l|L)?[aAeEfFgG])"),
+        "locale-sensitive printf/scanf float conversion (output depends on "
+        "the process locale); use util/lineio format_double/std::to_chars",
+        {},
+        {},
+        /*match_raw=*/true});
+    r.push_back(LineRule{
         "float-eq",
         std::regex(std::string(R"((==|!=)\s*[-+]?)") + kFloatLit + "|" +
                    kFloatLit + R"(\s*(==|!=))"),
@@ -231,6 +251,7 @@ const std::vector<RuleInfo>& rules() {
       {"iostream", "std::cout/cerr/clog in library code; use util::log"},
       {"pragma-once", "headers must open with #pragma once"},
       {"include-hygiene", "no path-traversing quoted includes"},
+      {"locale-io", "locale-sensitive numeric I/O; use util/lineio"},
       {"float-eq", "exact float comparison against a literal"},
   };
   return info;
