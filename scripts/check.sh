@@ -10,6 +10,11 @@
 #               runs the FULL test suite under both.
 #   RAC_AUDIT=1 heavyweight invariant audits (-DRAC_AUDIT=ON); runs the
 #               full suite with RAC_AUDIT blocks live.
+#   RAC_FAULT_SAN=1 fault-injection suites under ASan+UBSan
+#               (-DRAC_ASAN=ON -DRAC_UBSAN=ON); runs the tests labeled
+#               `fault` -- a cheap focused pass for the injection decorator
+#               and degradation paths when the full RAC_SAN sweep is too
+#               slow for the pipeline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,6 +43,13 @@ if [[ "${RAC_SAN:-0}" == "1" ]]; then
   cmake -B "$SAN_DIR" -S . -DRAC_WERROR=ON -DRAC_ASAN=ON -DRAC_UBSAN=ON
   cmake --build "$SAN_DIR" -j "$(nproc)"
   ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "${RAC_FAULT_SAN:-0}" == "1" ]]; then
+  FAULT_SAN_DIR="${BUILD_DIR}-fault-san"
+  cmake -B "$FAULT_SAN_DIR" -S . -DRAC_WERROR=ON -DRAC_ASAN=ON -DRAC_UBSAN=ON
+  cmake --build "$FAULT_SAN_DIR" -j "$(nproc)" --target fault_tests
+  ctest --test-dir "$FAULT_SAN_DIR" --output-on-failure -L fault
 fi
 
 if [[ "${RAC_AUDIT:-0}" == "1" ]]; then

@@ -23,11 +23,31 @@ ViolationOptions with_registry(ViolationOptions violation,
   return violation;
 }
 
+const RacOptions& validated(const RacOptions& options) {
+  if (options.robustness.median_of < 1) {
+    throw std::invalid_argument("RacAgent: robustness.median_of < 1");
+  }
+  if (options.robustness.freeze_detect_after < 0) {
+    throw std::invalid_argument(
+        "RacAgent: negative robustness.freeze_detect_after");
+  }
+  if (options.robustness.clamp &&
+      !std::isfinite(options.robustness.floor)) {
+    throw std::invalid_argument("RacAgent: non-finite robustness.floor");
+  }
+  if (options.safe_fallback.enabled &&
+      (options.safe_fallback.after_blowouts < 1 ||
+       options.safe_fallback.blowout_factor <= 0.0)) {
+    throw std::invalid_argument("RacAgent: bad safe_fallback options");
+  }
+  return options;
+}
+
 }  // namespace
 
 RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
                    std::optional<std::size_t> initial_policy)
-    : opt_(options),
+    : opt_(validated(options)),
       library_(std::move(library)),
       detector_(with_registry(options.violation, options.registry)),
       online_policy_(options.online_epsilon),
@@ -37,6 +57,9 @@ RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
   explorations_ = &reg.counter("core.rac.explore_actions");
   policy_switch_count_ = &reg.counter("core.rac.policy_switches");
   retrain_count_ = &reg.counter("core.rac.retrains");
+  nonfinite_samples_ = &reg.counter("core.rac.nonfinite_samples");
+  frozen_samples_ = &reg.counter("core.rac.frozen_samples");
+  safe_fallback_count_ = &reg.counter("core.rac.safe_fallbacks");
   select_us_ = &reg.histogram("core.rac.select_us", obs::latency_us_bounds());
   retrain_us_ = &reg.histogram("core.rac.retrain_us", obs::latency_us_bounds());
   if (!library_.empty()) {
@@ -62,12 +85,28 @@ std::string RacAgent::name() const {
 
 config::Configuration RacAgent::decide() {
   decisions_->add(1);
+  last_safe_fallback_ = false;
   if (first_decide_) {
     // Measure the starting configuration before acting (the agent needs a
     // baseline observation).
     first_decide_ = false;
     last_selection_ = {config::Action::keep(), false,
                        qtable_.q(current_, config::Action::keep())};
+    return current_;
+  }
+  if (opt_.safe_fallback.enabled &&
+      blowout_streak_ >= opt_.safe_fallback.after_blowouts) {
+    // The Q-table steered us into (or failed to escape) sustained SLA
+    // blowouts; revert to the best configuration we have actually measured
+    // instead of trusting possibly poisoned values. Defaults when nothing
+    // was measured yet -- the known-safe Table-1 starting point.
+    current_ = experience_.best().value_or(config::Configuration::defaults());
+    last_selection_ = {config::Action::keep(), false,
+                       qtable_.q(current_, config::Action::keep())};
+    blowout_streak_ = 0;
+    last_safe_fallback_ = true;
+    ++safe_fallbacks_;
+    safe_fallback_count_->add(1);
     return current_;
   }
   {
@@ -107,33 +146,90 @@ void RacAgent::retrain() {
               return a.values() < b.values();
             });
   const rl::RewardFn reward = [this](const config::Configuration& c) {
-    return reward_from_response(opt_.sla, lookup_response(c));
+    return reward_of(lookup_response(c));
   };
   rl::batch_train(qtable_, states, reward, opt_.online_td, rng_,
                   opt_.registry);
+}
+
+double RacAgent::reward_of(double response_ms) const {
+  const double r = reward_from_response(opt_.sla, response_ms);
+  return opt_.robustness.clamp ? std::max(r, opt_.robustness.floor) : r;
 }
 
 void RacAgent::observe(const config::Configuration& applied,
                        const env::PerfSample& sample) {
   current_ = applied;
   last_policy_switched_ = false;
-  last_reward_ = reward_from_response(opt_.sla, sample.response_ms);
-  experience_.record(applied, sample.response_ms);
+
+  if (!std::isfinite(sample.response_ms) || sample.response_ms < 0.0) {
+    // Monitoring garbage: hold the previous knowledge rather than feed it
+    // into the experience store (whose contract rejects it) or the
+    // calibration average. The detector counts-and-drops on its own.
+    nonfinite_samples_->add(1);
+    detector_.observe(sample.response_ms);
+    return;
+  }
+
+  if (opt_.robustness.freeze_detect_after > 0) {
+    // Bitwise comparison on purpose: a live (noisy) sensor essentially
+    // never repeats a double exactly, a stuck one repeats it exactly.
+    if (freeze_has_last_ &&
+        sample.response_ms == freeze_last_raw_) {  // rac-lint: allow(float-eq)
+      ++freeze_repeats_;
+    } else {
+      freeze_repeats_ = 0;
+    }
+    freeze_has_last_ = true;
+    freeze_last_raw_ = sample.response_ms;
+    if (freeze_repeats_ >= opt_.robustness.freeze_detect_after) {
+      // Stuck sensor: the reading repeats old state and carries no new
+      // information -- ingesting it would teach the agent that nothing it
+      // does changes anything.
+      frozen_samples_->add(1);
+      return;
+    }
+  }
+
+  // Outlier-robust effective response: the reward / experience /
+  // calibration paths see the median-filtered value, the violation
+  // detector always sees the raw sample.
+  double effective = sample.response_ms;
+  if (opt_.robustness.median_of > 1) {
+    recent_responses_.push_back(sample.response_ms);
+    while (recent_responses_.size() >
+           static_cast<std::size_t>(opt_.robustness.median_of)) {
+      recent_responses_.pop_front();
+    }
+    std::vector<double> sorted(recent_responses_.begin(),
+                               recent_responses_.end());
+    std::sort(sorted.begin(), sorted.end());
+    effective = sorted[sorted.size() / 2];
+  }
+
+  if (opt_.safe_fallback.enabled) {
+    const double blowout =
+        opt_.safe_fallback.blowout_factor * opt_.sla.reference_response_ms;
+    blowout_streak_ = effective > blowout ? blowout_streak_ + 1 : 0;
+  }
+
+  last_reward_ = reward_of(effective);
+  experience_.record(applied, effective);
 
   // Update the surface calibration from this measurement (log-space ratio
   // so over- and under-prediction are symmetric).
-  if (active_policy_.has_value() && sample.response_ms > 0.0) {
+  if (active_policy_.has_value() && effective > 0.0) {
     const double predicted =
         library_.at(*active_policy_).predict_response_ms(applied);
     if (predicted > 0.0) {
-      calibration_log_.add(std::log(sample.response_ms / predicted));
+      calibration_log_.add(std::log(effective / predicted));
     }
   }
 
   // Context-change detection and policy switching (Algorithm 3 lines 6-8).
   if (detector_.observe(sample.response_ms)) {
     if (opt_.adaptive_policy_switching && !library_.empty()) {
-      const auto match = library_.best_match(applied, sample.response_ms);
+      const auto match = library_.best_match(applied, effective);
       if (match.has_value() && match != active_policy_) {
         util::log_info("RAC: context change detected, switching to policy ",
                        *match, " (", library_.at(*match).context.name(), ")");
@@ -146,13 +242,13 @@ void RacAgent::observe(const config::Configuration& applied,
     // Stale measurements (and the old context's calibration) mislead
     // retraining after the environment changed.
     experience_.clear();
-    experience_.record(applied, sample.response_ms);
+    experience_.record(applied, effective);
     calibration_log_.reset();
-    if (active_policy_.has_value() && sample.response_ms > 0.0) {
+    if (active_policy_.has_value() && effective > 0.0) {
       const double predicted =
           library_.at(*active_policy_).predict_response_ms(applied);
       if (predicted > 0.0) {
-        calibration_log_.add(std::log(sample.response_ms / predicted));
+        calibration_log_.add(std::log(effective / predicted));
       }
     }
   }
@@ -171,6 +267,13 @@ AgentSnapshot RacAgent::snapshot() const {
   s.violation_min_history = opt_.violation.min_history;
   s.online_learning = opt_.online_learning;
   s.adaptive_policy_switching = opt_.adaptive_policy_switching;
+  s.robustness_clamp = opt_.robustness.clamp;
+  s.robustness_floor = opt_.robustness.floor;
+  s.robustness_median_of = opt_.robustness.median_of;
+  s.robustness_freeze_after = opt_.robustness.freeze_detect_after;
+  s.safe_fallback_enabled = opt_.safe_fallback.enabled;
+  s.safe_fallback_after = opt_.safe_fallback.after_blowouts;
+  s.safe_fallback_factor = opt_.safe_fallback.blowout_factor;
   s.seed = opt_.seed;
   s.library_size = library_.size();
   s.experience_blend = experience_.blend();
@@ -197,6 +300,14 @@ AgentSnapshot RacAgent::snapshot() const {
   s.last_reward = last_reward_;
   s.calibration_initialized = !calibration_log_.empty();
   s.calibration_value = calibration_log_.value();
+  s.recent_responses.assign(recent_responses_.begin(),
+                            recent_responses_.end());
+  s.blowout_streak = blowout_streak_;
+  s.last_safe_fallback = last_safe_fallback_;
+  s.safe_fallbacks = safe_fallbacks_;
+  s.freeze_has_last = freeze_has_last_;
+  s.freeze_last_raw = freeze_last_raw_;
+  s.freeze_repeats = freeze_repeats_;
   return s;
 }
 
@@ -219,6 +330,13 @@ void RacAgent::restore(const AgentSnapshot& s) {
       s.violation_min_history == opt_.violation.min_history &&
       s.online_learning == opt_.online_learning &&
       s.adaptive_policy_switching == opt_.adaptive_policy_switching &&
+      s.robustness_clamp == opt_.robustness.clamp &&
+      s.robustness_floor == opt_.robustness.floor &&
+      s.robustness_median_of == opt_.robustness.median_of &&
+      s.robustness_freeze_after == opt_.robustness.freeze_detect_after &&
+      s.safe_fallback_enabled == opt_.safe_fallback.enabled &&
+      s.safe_fallback_after == opt_.safe_fallback.after_blowouts &&
+      s.safe_fallback_factor == opt_.safe_fallback.blowout_factor &&
       s.seed == opt_.seed && s.experience_blend == experience_.blend();
   if (!hyperparams_match) {
     throw std::invalid_argument(
@@ -265,6 +383,14 @@ void RacAgent::restore(const AgentSnapshot& s) {
   last_policy_switched_ = s.last_policy_switched;
   last_reward_ = s.last_reward;
   calibration_log_.restore(s.calibration_value, s.calibration_initialized);
+  recent_responses_.assign(s.recent_responses.begin(),
+                           s.recent_responses.end());
+  blowout_streak_ = s.blowout_streak;
+  last_safe_fallback_ = s.last_safe_fallback;
+  safe_fallbacks_ = s.safe_fallbacks;
+  freeze_has_last_ = s.freeze_has_last;
+  freeze_last_raw_ = s.freeze_last_raw;
+  freeze_repeats_ = s.freeze_repeats;
 }
 
 bool RacAgent::save_state(std::ostream& os) const {
@@ -283,6 +409,7 @@ void RacAgent::annotate(obs::TraceEvent& event) const {
   event.policy_switched = last_policy_switched_;
   event.violation = detector_.last_was_violation();
   event.consecutive_violations = detector_.consecutive_violations();
+  event.safe_fallback = last_safe_fallback_;
 }
 
 }  // namespace rac::core

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 
 #include "core/agent.hpp"
@@ -38,6 +39,36 @@ class Registry;
 
 namespace rac::core {
 
+/// Outlier-robust reward ingestion (PR 5). Everything defaults OFF: the
+/// paper's reward semantics (and the golden fig-5/fig-6 trajectories) are
+/// preserved bit-for-bit unless a knob is explicitly turned.
+struct RewardRobustness {
+  /// Clamp the reward from below at `floor`. The paper's reward
+  /// (ref - rt)/ref is unbounded below, so a single fault spike (say
+  /// 10^6 ms) writes a catastrophic Q-value that bounded online episodes
+  /// can never walk back.
+  bool clamp = false;
+  double floor = -5.0;
+  /// Median-of-k filter on the measured response before it reaches the
+  /// reward / experience / calibration paths (1 = off). The violation
+  /// detector always sees the raw sample -- context-change detection must
+  /// not be damped.
+  int median_of = 1;
+  /// Declare the sensor stuck after this many bitwise-identical raw
+  /// responses in a row and skip ingestion of the stale value (0 = off).
+  int freeze_detect_after = 0;
+};
+
+/// Safe-fallback step: after `after_blowouts` consecutive measurements
+/// worse than `blowout_factor` x the SLA reference, the next decide()
+/// reverts to the best configuration in the experience store instead of
+/// following the (possibly poisoned) Q-table. Off by default.
+struct SafeFallback {
+  bool enabled = false;
+  int after_blowouts = 3;
+  double blowout_factor = 2.0;
+};
+
 struct RacOptions {
   SlaSpec sla{};
   /// Online action-selection exploration (paper: 0.05).
@@ -51,6 +82,10 @@ struct RacOptions {
   /// false the agent keeps its starting policy and relies on online
   /// learning alone.
   bool adaptive_policy_switching = true;
+  /// Measurement-robustness hardening; all defaults preserve paper
+  /// semantics exactly.
+  RewardRobustness robustness{};
+  SafeFallback safe_fallback{};
   std::uint64_t seed = 11;
   /// Registry receiving the agent's telemetry (core.rac.*, and rl.td.*
   /// from retraining); nullptr means obs::default_registry(). Also
@@ -100,6 +135,8 @@ class RacAgent : public ConfigAgent {
   }
   int policy_switches() const noexcept { return policy_switches_; }
   const rl::ExperienceStore& experience() const noexcept { return experience_; }
+  int safe_fallbacks() const noexcept { return safe_fallbacks_; }
+  int blowout_streak() const noexcept { return blowout_streak_; }
 
  private:
   RacOptions opt_;
@@ -118,6 +155,14 @@ class RacAgent : public ConfigAgent {
   rl::Selection last_selection_{};
   bool last_policy_switched_ = false;
   double last_reward_ = 0.0;
+  // Robustness state (all inert at the default-off options).
+  std::deque<double> recent_responses_;  // raw samples for the median filter
+  int blowout_streak_ = 0;               // consecutive SLA blowouts seen
+  bool last_safe_fallback_ = false;      // last decide() was a fallback
+  int safe_fallbacks_ = 0;
+  bool freeze_has_last_ = false;         // freeze detector: previous raw
+  double freeze_last_raw_ = 0.0;         //   sample and how often it
+  int freeze_repeats_ = 0;               //   repeated bitwise
   // Online calibration of the offline surface: the live environment's
   // response-time *level* can differ from the offline traces' (stale
   // staging data, or a pinned policy from a foreign context); a smoothed
@@ -131,11 +176,17 @@ class RacAgent : public ConfigAgent {
   obs::Counter* explorations_ = nullptr;
   obs::Counter* policy_switch_count_ = nullptr;
   obs::Counter* retrain_count_ = nullptr;
+  obs::Counter* nonfinite_samples_ = nullptr;
+  obs::Counter* frozen_samples_ = nullptr;
+  obs::Counter* safe_fallback_count_ = nullptr;
   obs::Histogram* select_us_ = nullptr;
   obs::Histogram* retrain_us_ = nullptr;
 
   void load_policy(std::size_t index);
   double lookup_response(const config::Configuration& c) const;
+  /// Reward of a measured/blended response under the active robustness
+  /// options (clamped from below iff robustness.clamp).
+  double reward_of(double response_ms) const;
   void retrain();
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -36,18 +38,33 @@ int AgentTrace::settled_iteration(int from, int to, int window,
   // check splits into a per-candidate part over those positions and a
   // candidate-independent part over full windows -- O(n * window) overall
   // instead of the naive O((n - from)^2 * window).
+  // A non-finite response time must fail its windows, not poison them: a
+  // NaN folded into the prefix sums would make every later range's mean
+  // NaN, and `!(mean > 0.0 && ...)` would then count those positions as
+  // stable. Track non-finite entries in a parallel prefix count and
+  // substitute 0 into the sum so ranges beyond the bad entry stay exact.
   std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<int> nonfinite(static_cast<std::size_t>(n) + 1, 0);
   for (int i = 0; i < n; ++i) {
+    const double rt = records[static_cast<std::size_t>(i)].response_ms;
+    const bool finite = std::isfinite(rt);
     prefix[static_cast<std::size_t>(i) + 1] =
-        prefix[static_cast<std::size_t>(i)] +
-        records[static_cast<std::size_t>(i)].response_ms;
+        prefix[static_cast<std::size_t>(i)] + (finite ? rt : 0.0);
+    nonfinite[static_cast<std::size_t>(i) + 1] =
+        nonfinite[static_cast<std::size_t>(i)] + (finite ? 0 : 1);
   }
   const auto range_mean = [&](int lo, int hi) {  // over [lo, hi]
     return (prefix[static_cast<std::size_t>(hi) + 1] -
             prefix[static_cast<std::size_t>(lo)]) /
            static_cast<double>(hi - lo + 1);
   };
-  const auto within = [&](int i, double mean) {
+  const auto within = [&](int i, int lo, int hi) {  // window [lo, hi] ∋ i
+    if (nonfinite[static_cast<std::size_t>(hi) + 1] -
+            nonfinite[static_cast<std::size_t>(lo)] >
+        0) {
+      return false;
+    }
+    const double mean = range_mean(lo, hi);
     const double rt = records[static_cast<std::size_t>(i)].response_ms;
     return !(mean > 0.0 && std::abs(rt - mean) / mean > tolerance);
   };
@@ -57,14 +74,14 @@ int AgentTrace::settled_iteration(int from, int to, int window,
   for (int i = n - 1; i >= window - 1; --i) {
     all_full_from[static_cast<std::size_t>(i)] =
         all_full_from[static_cast<std::size_t>(i) + 1] &&
-        within(i, range_mean(i - window + 1, i));
+        within(i, i - window + 1, i);
   }
 
   for (int candidate = first; candidate + window <= n; ++candidate) {
     bool stable = all_full_from[static_cast<std::size_t>(candidate) +
                                 static_cast<std::size_t>(window) - 1] != 0;
     for (int i = candidate; stable && i < candidate + window - 1; ++i) {
-      stable = within(i, range_mean(candidate, i));
+      stable = within(i, candidate, i);
     }
     if (stable) return candidate;
   }
@@ -91,6 +108,9 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
     throw std::invalid_argument(
         "run_agent: checkpoint_every set without a checkpoint_path");
   }
+  if (options.robustness.enabled && options.robustness.max_retries < 0) {
+    throw std::invalid_argument("run_agent: negative max_retries");
+  }
 
   obs::Registry& registry = obs::registry_or_default(options.registry);
   obs::Counter& c_iterations = registry.counter("core.runner.iterations");
@@ -102,6 +122,11 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
   obs::Counter& c_checkpoint_bytes = registry.counter("core.checkpoint.bytes");
   obs::Histogram& h_checkpoint = registry.histogram(
       "core.checkpoint.write_us", obs::latency_us_bounds());
+  obs::Counter& c_measure_retries =
+      registry.counter("core.fault.measure_retries");
+  obs::Counter& c_missing = registry.counter("core.fault.missing_intervals");
+  obs::Counter& c_backoff = registry.counter("core.fault.backoff_units");
+  obs::Counter& c_held = registry.counter("core.fault.held_samples");
 
   const auto write_checkpoint = [&](int completed) {
     std::ostringstream state;
@@ -149,11 +174,48 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
     }
     config::Configuration applied;
     env::PerfSample sample;
+    int attempts = 1;
+    bool missing = false;
     {
       const obs::ScopedTimer timer(&h_iteration);
       applied = agent.decide();
-      sample = environment.measure(applied);
-      agent.observe(applied, sample);
+      if (!options.robustness.enabled) {
+        // Paper-exact path: the monitor cannot fail, every interval lands.
+        sample = environment.measure(applied);  // rac-lint: allow(unchecked-measure)
+        agent.observe(applied, sample);
+      } else {
+        std::optional<env::PerfSample> measured =
+            environment.try_measure(applied);
+        // Exponential backoff in simulated time: each retry is accounted
+        // as 1, 2, 4, ... backoff units (this layer never sleeps --
+        // wall-clock is banned here and the environments advance their
+        // own clocks).
+        std::uint64_t backoff = 1;
+        while (!measured.has_value() &&
+               attempts <= options.robustness.max_retries) {
+          ++attempts;
+          c_measure_retries.add(1);
+          c_backoff.add(backoff);
+          backoff *= 2;
+          measured = environment.try_measure(applied);
+        }
+        if (measured.has_value()) {
+          sample = *measured;
+          agent.observe(applied, sample);
+        } else {
+          // Interval lost for good: hold the last decision. The agent is
+          // not told anything -- a fabricated observation would teach it
+          // about an interval that never happened.
+          missing = true;
+          c_missing.add(1);
+          if (options.robustness.hold_last_on_missing &&
+              !trace.records.empty()) {
+            sample.response_ms = trace.records.back().response_ms;
+            sample.throughput_rps = trace.records.back().throughput_rps;
+            c_held.add(1);
+          }
+        }
+      }
     }
     c_iterations.add(1);
 
@@ -173,6 +235,9 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
       event.state.assign(values.begin(), values.end());
       event.response_ms = sample.response_ms;
       event.throughput_rps = sample.throughput_rps;
+      event.measure_attempts = attempts;
+      event.measurement_missing = missing;
+      event.fault_note = environment.last_fault_note();
       event.context = record.context.name();
       agent.annotate(event);
       options.sink->emit(event);

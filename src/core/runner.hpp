@@ -46,6 +46,23 @@ struct AgentTrace {
                         double tolerance = 0.25) const;
 };
 
+/// Graceful degradation of the measurement path (PR 5). Disabled by
+/// default: the loop then calls Environment::measure() exactly as the
+/// paper's management station does, and a lost interval is impossible.
+struct MeasureRobustness {
+  /// Route measurements through Environment::try_measure with retries.
+  bool enabled = false;
+  /// Additional try_measure attempts after the first returns nullopt.
+  /// Retry cost is accounted (core.fault.backoff_units grows 1, 2, 4, ...
+  /// per retry -- exponential backoff in simulated time; the loop never
+  /// sleeps, wall-clock is banned in this layer).
+  int max_retries = 2;
+  /// When every attempt fails: record the previous interval's sample and
+  /// skip the agent's observe() ("hold last decision"). When false the
+  /// interval is recorded as a zero sample and still skipped.
+  bool hold_last_on_missing = true;
+};
+
 /// Observability and persistence attachments for a run.
 struct RunOptions {
   /// One TraceEvent per iteration (state, action, measurement, reward,
@@ -67,6 +84,8 @@ struct RunOptions {
   /// Destination file for checkpoints; each write is atomic (temp file +
   /// rename), so a crash mid-write preserves the previous checkpoint.
   std::string checkpoint_path;
+  /// Fallible-measurement handling; default off (paper-exact loop).
+  MeasureRobustness robustness{};
 };
 
 /// Run `agent` from `options.start_iteration` (default 0) up to

@@ -35,7 +35,8 @@ SensitivityReport analyze_sensitivity(env::Environment& environment,
       c.set(id, grid[i]);
       double total = 0.0;
       for (int rep = 0; rep < options.samples_per_point; ++rep) {
-        total += environment.measure(c).response_ms;
+        total += environment.measure(c)  // rac-lint: allow(unchecked-measure) offline probe
+                     .response_ms;
       }
       const double response = total / options.samples_per_point;
       ++report.evaluations;

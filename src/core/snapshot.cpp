@@ -16,7 +16,12 @@ namespace {
 
 constexpr const char* kSnapshotMagic = "rac-agent-snapshot";
 constexpr const char* kCheckpointMagic = "rac-checkpoint";
-constexpr int kVersion = 1;
+// Snapshot v2 added the measurement-robustness hyperparameters and state
+// (PR 5); v1 snapshots still load, with those fields at their all-off
+// defaults. The checkpoint container format is unversioned-independent and
+// stays at v1.
+constexpr int kSnapshotVersion = 2;
+constexpr int kCheckpointVersion = 1;
 
 std::string bool_token(bool b) { return b ? "1" : "0"; }
 
@@ -62,7 +67,7 @@ void write_configuration(std::ostream& os, const config::Configuration& c) {
 }  // namespace
 
 void save_agent_snapshot(std::ostream& os, const AgentSnapshot& s) {
-  os << kSnapshotMagic << " v" << kVersion << "\n";
+  os << kSnapshotMagic << " v" << kSnapshotVersion << "\n";
   os << "sla " << util::format_double(s.sla_reference_response_ms) << "\n";
   os << "online_epsilon " << util::format_double(s.online_epsilon) << "\n";
   os << "online_td " << util::format_double(s.online_td.alpha) << ' '
@@ -102,6 +107,22 @@ void save_agent_snapshot(std::ostream& os, const AgentSnapshot& s) {
   os << "last_reward " << util::format_double(s.last_reward) << "\n";
   os << "calibration " << bool_token(s.calibration_initialized) << ' '
      << util::format_double(s.calibration_value) << "\n";
+  os << "robustness " << bool_token(s.robustness_clamp) << ' '
+     << util::format_double(s.robustness_floor) << ' '
+     << util::format_i64(s.robustness_median_of) << ' '
+     << util::format_i64(s.robustness_freeze_after) << ' '
+     << bool_token(s.safe_fallback_enabled) << ' '
+     << util::format_i64(s.safe_fallback_after) << ' '
+     << util::format_double(s.safe_fallback_factor) << "\n";
+  os << "recent " << util::format_u64(s.recent_responses.size());
+  for (double v : s.recent_responses) os << ' ' << util::format_double(v);
+  os << "\n";
+  os << "fallback " << util::format_i64(s.blowout_streak) << ' '
+     << bool_token(s.last_safe_fallback) << ' '
+     << util::format_i64(s.safe_fallbacks) << "\n";
+  os << "freeze " << bool_token(s.freeze_has_last) << ' '
+     << util::format_double(s.freeze_last_raw) << ' '
+     << util::format_i64(s.freeze_repeats) << "\n";
   os << "rng";
   for (std::uint64_t word : s.rng.words) os << ' ' << util::format_u64(word);
   os << ' ' << bool_token(s.rng.has_cached_normal) << ' '
@@ -129,10 +150,11 @@ AgentSnapshot load_agent_snapshot(std::istream& is) {
   if (magic != kSnapshotMagic) {
     throw std::runtime_error("load_agent_snapshot: not an agent snapshot");
   }
-  if (version != "v1") {
+  if (version != "v1" && version != "v2") {
     throw std::runtime_error("load_agent_snapshot: unsupported version " +
                              version);
   }
+  const bool v2 = version == "v2";
   AgentSnapshot s;
   util::expect_token(is, "sla", kWhat);
   s.sla_reference_response_ms = read_double(is, kWhat);
@@ -197,6 +219,44 @@ AgentSnapshot load_agent_snapshot(std::istream& is) {
   util::expect_token(is, "calibration", kWhat);
   s.calibration_initialized = parse_bool(is, kWhat);
   s.calibration_value = read_double(is, kWhat);
+  if (v2) {
+    util::expect_token(is, "robustness", kWhat);
+    s.robustness_clamp = parse_bool(is, kWhat);
+    s.robustness_floor = read_double(is, kWhat);
+    s.robustness_median_of = read_int(is, kWhat);
+    s.robustness_freeze_after = read_int(is, kWhat);
+    s.safe_fallback_enabled = parse_bool(is, kWhat);
+    s.safe_fallback_after = read_int(is, kWhat);
+    s.safe_fallback_factor = read_double(is, kWhat);
+    if (s.robustness_median_of < 1 || s.robustness_freeze_after < 0) {
+      throw std::runtime_error(
+          "load_agent_snapshot: bad robustness hyperparameters");
+    }
+    util::expect_token(is, "recent", kWhat);
+    const std::uint64_t n = read_u64(is, kWhat);
+    if (n > static_cast<std::uint64_t>(s.robustness_median_of)) {
+      throw std::runtime_error(
+          "load_agent_snapshot: median window larger than median_of");
+    }
+    s.recent_responses.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s.recent_responses.push_back(read_double(is, kWhat));
+    }
+    util::expect_token(is, "fallback", kWhat);
+    s.blowout_streak = read_int(is, kWhat);
+    s.last_safe_fallback = parse_bool(is, kWhat);
+    s.safe_fallbacks = read_int(is, kWhat);
+    if (s.blowout_streak < 0 || s.safe_fallbacks < 0) {
+      throw std::runtime_error("load_agent_snapshot: negative fallback state");
+    }
+    util::expect_token(is, "freeze", kWhat);
+    s.freeze_has_last = parse_bool(is, kWhat);
+    s.freeze_last_raw = read_double(is, kWhat);
+    s.freeze_repeats = read_int(is, kWhat);
+    if (s.freeze_repeats < 0) {
+      throw std::runtime_error("load_agent_snapshot: negative freeze repeats");
+    }
+  }
   util::expect_token(is, "rng", kWhat);
   for (auto& word : s.rng.words) word = read_u64(is, kWhat);
   s.rng.has_cached_normal = parse_bool(is, kWhat);
@@ -231,7 +291,7 @@ AgentSnapshot load_agent_snapshot(std::istream& is) {
 void write_checkpoint_file(const std::string& path,
                            const RunCheckpoint& checkpoint) {
   std::ostringstream os;
-  os << kCheckpointMagic << " v" << kVersion << "\n";
+  os << kCheckpointMagic << " v" << kCheckpointVersion << "\n";
   os << "completed " << util::format_u64(checkpoint.completed_iterations)
      << "\n";
   // The agent state is opaque text; a byte count delimits it so the

@@ -45,6 +45,15 @@ struct AgentSnapshot {
   std::uint64_t violation_min_history = 3;
   bool online_learning = true;
   bool adaptive_policy_switching = true;
+  // Robustness hyperparameters (v2; v1 snapshots imply the defaults, i.e.
+  // all hardening off -- exactly what every pre-v2 agent ran with).
+  bool robustness_clamp = false;
+  double robustness_floor = -5.0;
+  int robustness_median_of = 1;
+  int robustness_freeze_after = 0;
+  bool safe_fallback_enabled = false;
+  int safe_fallback_after = 3;
+  double safe_fallback_factor = 2.0;
   std::uint64_t seed = 11;
   std::uint64_t library_size = 0;
   double experience_blend = 0.6;
@@ -72,6 +81,14 @@ struct AgentSnapshot {
   double last_reward = 0.0;
   bool calibration_initialized = false;
   double calibration_value = 0.0;
+  // Robustness state (v2; empty/zero in v1 snapshots).
+  std::vector<double> recent_responses;  // median-filter window, oldest first
+  int blowout_streak = 0;
+  bool last_safe_fallback = false;
+  int safe_fallbacks = 0;
+  bool freeze_has_last = false;
+  double freeze_last_raw = 0.0;
+  int freeze_repeats = 0;
 };
 
 /// Serialize a snapshot (versioned, ends with an "end" trailer). Throws

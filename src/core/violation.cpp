@@ -1,5 +1,6 @@
 #include "core/violation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,10 +34,18 @@ ViolationDetector::ViolationDetector(const ViolationOptions& options)
   checks_ = &registry.counter("core.violation.pvar_checks");
   violations_ = &registry.counter("core.violation.violations");
   context_changes_ = &registry.counter("core.violation.context_changes");
+  rejected_ = &registry.counter("core.violation.rejected");
   consecutive_gauge_ = &registry.gauge("core.violation.consecutive");
 }
 
 bool ViolationDetector::observe(double response_ms) {
+  if (!std::isfinite(response_ms) || response_ms < 0.0) {
+    // Count-and-drop: the sample is monitoring garbage, not evidence of a
+    // context change. The window, streak, and last-violation flag are left
+    // exactly as they were.
+    rejected_->add(1);
+    return false;
+  }
   if (history_.size() < opt_.min_history) {
     // Not enough history to call anything a violation yet.
     last_violation_ = false;
@@ -44,8 +53,11 @@ bool ViolationDetector::observe(double response_ms) {
     history_.add(response_ms);
     return false;
   }
+  // Floor the denominator: a window of (near-)zero response times must not
+  // turn pvar into Inf/NaN. 1e-6 ms is far below any real measurement, so
+  // the floor only engages on degenerate windows.
   const double avg = history_.mean();
-  const double pvar = avg > 0.0 ? std::abs(response_ms - avg) / avg : 0.0;
+  const double pvar = std::abs(response_ms - avg) / std::max(avg, 1e-6);
   last_violation_ = pvar >= opt_.threshold;
   consecutive_ = last_violation_ ? consecutive_ + 1 : 0;
   history_.add(response_ms);

@@ -44,6 +44,10 @@ class ViolationDetector {
 
   /// Feed one measurement. Returns true when a context change is declared
   /// (at which point the internal history resets for the new context).
+  /// Non-finite or negative samples are counted-and-dropped (the
+  /// `core.violation.rejected` counter) without touching the window or the
+  /// streak: a single NaN would otherwise poison the window mean so
+  /// detection never fires again.
   bool observe(double response_ms);
 
   /// Whether the most recent observation was a violation.
@@ -75,6 +79,7 @@ class ViolationDetector {
   obs::Counter* checks_ = nullptr;
   obs::Counter* violations_ = nullptr;
   obs::Counter* context_changes_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
   obs::Gauge* consecutive_gauge_ = nullptr;
 };
 

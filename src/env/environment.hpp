@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "config/configuration.hpp"
 #include "env/context.hpp"
@@ -32,6 +34,21 @@ class Environment {
 
   /// Apply `configuration` and measure one interval.
   virtual PerfSample measure(const config::Configuration& configuration) = 0;
+
+  /// Fallible variant of measure(): returns std::nullopt when the
+  /// measurement interval was lost (monitor timeout, dropped sample).
+  /// The default adapter never fails; fault-injecting decorators override
+  /// this, and the runner's retry wrapper consumes it.
+  virtual std::optional<PerfSample> try_measure(
+      const config::Configuration& configuration) {
+    return measure(configuration);
+  }
+
+  /// Human-readable note describing any fault injected into the most
+  /// recent measurement ("" when the interval was clean). Decorators
+  /// override this so the runner can surface faults in decision traces
+  /// without depending on the fault layer.
+  virtual std::string last_fault_note() const { return {}; }
 
   /// Reallocate workload mix and/or VM resources (the external dynamics the
   /// agent must adapt to -- it is NOT told about this call).

@@ -55,8 +55,23 @@ std::string to_json(const TraceEvent& e) {
      << ",\"active_policy\":" << e.active_policy
      << ",\"policy_switched\":" << bool_str(e.policy_switched)
      << ",\"violation\":" << bool_str(e.violation)
-     << ",\"consecutive_violations\":" << e.consecutive_violations
-     << ",\"context\":";
+     << ",\"consecutive_violations\":" << e.consecutive_violations;
+  // Fault fields only appear when set: clean-run JSONL stays byte-identical
+  // to the pre-fault-layer format.
+  if (e.measure_attempts != 1) {
+    os << ",\"measure_attempts\":" << e.measure_attempts;
+  }
+  if (e.measurement_missing) {
+    os << ",\"measurement_missing\":" << bool_str(e.measurement_missing);
+  }
+  if (e.safe_fallback) {
+    os << ",\"safe_fallback\":" << bool_str(e.safe_fallback);
+  }
+  if (!e.fault_note.empty()) {
+    os << ",\"fault_note\":";
+    append_escaped(os, e.fault_note);
+  }
+  os << ",\"context\":";
   append_escaped(os, e.context);
   os << "}";
   return os.str();

@@ -33,6 +33,13 @@ struct TraceEvent {
   bool policy_switched = false; // Section-V switch fired this iteration
   bool violation = false;       // this measurement violated pvar >= v_thr
   int consecutive_violations = 0;
+  // Fault-visibility fields (PR 5). Rendered into the JSON only when they
+  // differ from these defaults, so traces of clean runs stay byte-identical
+  // to pre-fault-layer output.
+  int measure_attempts = 1;          // try_measure calls this interval
+  bool measurement_missing = false;  // interval lost after all retries
+  bool safe_fallback = false;        // agent reverted to best-known config
+  std::string fault_note;            // injected-fault description ("" = clean)
   std::string context;          // environment context name (ground truth)
 };
 

@@ -53,6 +53,20 @@ std::optional<double> ExperienceStore::response_ms(
   return entries_[it->second].observation.response_ms;
 }
 
+std::optional<config::Configuration> ExperienceStore::best() const {
+  if (entries_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    // Strict < keeps the earliest observation on ties, so the answer is a
+    // deterministic function of the recording history.
+    if (entries_[i].observation.response_ms <
+        entries_[best].observation.response_ms) {
+      best = i;
+    }
+  }
+  return entries_[best].configuration;
+}
+
 void ExperienceStore::clear() {
   entries_.clear();
   index_.clear();

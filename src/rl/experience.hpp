@@ -43,6 +43,11 @@ class ExperienceStore {
   std::optional<double> response_ms(
       const config::Configuration& configuration) const;
 
+  /// Best-known configuration: lowest blended response time, earliest
+  /// observation winning ties. std::nullopt when the store is empty. Used
+  /// by the agent's safe-fallback step (revert after repeated blowouts).
+  std::optional<config::Configuration> best() const;
+
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
   void clear();

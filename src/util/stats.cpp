@@ -60,7 +60,10 @@ Ewma::Ewma(double alpha) : alpha_(alpha) {
   }
 }
 
-void Ewma::add(double x) noexcept {
+void Ewma::add(double x) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("Ewma::add: non-finite sample");
+  }
   if (!initialized_) {
     value_ = x;
     initialized_ = true;
@@ -89,6 +92,9 @@ SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
 }
 
 void SlidingWindow::add(double x) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("SlidingWindow::add: non-finite sample");
+  }
   data_.push_back(x);
   if (data_.size() > capacity_) data_.pop_front();
 }
@@ -101,6 +107,11 @@ void SlidingWindow::restore(std::span<const double> samples) {
   if (samples.size() > capacity_) {
     throw std::invalid_argument("SlidingWindow::restore: more samples than "
                                 "capacity");
+  }
+  for (const double s : samples) {
+    if (!std::isfinite(s)) {
+      throw std::invalid_argument("SlidingWindow::restore: non-finite sample");
+    }
   }
   data_.assign(samples.begin(), samples.end());
 }

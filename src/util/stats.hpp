@@ -42,7 +42,10 @@ class Ewma {
   /// std::invalid_argument outside that range.
   explicit Ewma(double alpha);
 
-  void add(double x) noexcept;
+  /// Throws std::invalid_argument for a non-finite sample: a single NaN
+  /// would silently poison the running average forever (and then survive
+  /// a checkpoint/restore round trip).
+  void add(double x);
   bool empty() const noexcept { return !initialized_; }
   double alpha() const noexcept { return alpha_; }
   double value() const noexcept { return value_; }
@@ -68,6 +71,9 @@ class SlidingWindow {
   /// would silently drop every sample).
   explicit SlidingWindow(std::size_t capacity);
 
+  /// Throws std::invalid_argument for a non-finite sample (a NaN in the
+  /// window corrupts mean() until the sample ages out -- or forever, via
+  /// restore()).
   void add(double x);
   void reset() noexcept { data_.clear(); }
 
@@ -84,7 +90,8 @@ class SlidingWindow {
   std::vector<double> values() const;
 
   /// Resume from serialized contents (oldest-first). Throws
-  /// std::invalid_argument when `samples` exceeds the capacity.
+  /// std::invalid_argument when `samples` exceeds the capacity or
+  /// contains a non-finite value.
   void restore(std::span<const double> samples);
 
  private:

@@ -11,11 +11,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/policy_init.hpp"
 #include "core/rac_agent.hpp"
 #include "core/runner.hpp"
 #include "core/snapshot.hpp"
 #include "env/analytic_env.hpp"
+#include "fault/fault_env.hpp"
 #include "obs/trace.hpp"
 
 namespace rac::core {
@@ -132,6 +135,126 @@ TEST(CheckpointResume, StitchedRunIsBitIdenticalToUninterrupted) {
 
   // --- final learner state: identical serialized snapshots ---------------
   EXPECT_EQ(final_state(resumed_agent), final_state(reference_agent));
+
+  std::remove(checkpoint_path.c_str());
+}
+
+// PR 5 extension of the golden: the same crash-resume bar with the
+// hardened loop running against an injected-fault environment. The agent
+// snapshot carries the robustness state (median window, blowout streak,
+// freeze tracker) and the FaultyEnv state rides alongside it, so the
+// stitched run -- fresh inner env, restored fault script position -- must
+// reproduce the uninterrupted one bit for bit, including the ground-truth
+// history the injector records.
+TEST(CheckpointResume, InjectedFaultRunStitchesBitIdentically) {
+  const InitialPolicyLibrary library = small_library();
+  RacOptions options;
+  options.robustness.clamp = true;
+  options.robustness.floor = -5.0;
+  options.robustness.median_of = 3;
+  options.robustness.freeze_detect_after = 2;
+  options.safe_fallback.enabled = true;
+  options.safe_fallback.after_blowouts = 3;
+  options.safe_fallback.blowout_factor = 1.5;
+
+  // Noiseless inner env: leg 2 rebuilds a FRESH inner environment, so the
+  // only state crossing the crash boundary is the checkpoint + the
+  // FaultyEnv state (fault decisions are pure in the interval anyway).
+  AnalyticEnvOptions inner;
+  inner.noise_sigma = 0.0;
+  const auto make_inner = [&inner]() {
+    return std::make_unique<AnalyticEnv>(
+        SystemContext{MixType::kShopping, VmLevel::kLevel1}, inner);
+  };
+
+  fault::FaultyEnvOptions fopt;
+  fopt.seed = 99;
+  fopt.profile.drop_prob = 0.15;
+  fopt.profile.spike_prob = 0.10;
+  fopt.profile.spike_multiplier = 30.0;
+  fault::FaultEpisode outage;  // a stuck sensor spanning the crash point
+  outage.kind = fault::FaultKind::kFreeze;
+  outage.start_interval = 12;
+  outage.duration = 4;
+  fopt.schedule.push_back(outage);
+
+  RunOptions hardened_run;
+  hardened_run.robustness.enabled = true;
+  hardened_run.robustness.max_retries = 2;
+  hardened_run.robustness.hold_last_on_missing = true;
+
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "/rac_checkpoint_fault_test.rac";
+
+  // --- reference: never crashes -----------------------------------------
+  fault::FaultyEnv reference_env(make_inner(), fopt);
+  RacAgent reference_agent(options, library, 0);
+  obs::MemoryTraceSink reference_sink;
+  RunOptions reference_run = hardened_run;
+  reference_run.sink = &reference_sink;
+  const AgentTrace reference = run_agent(reference_env, reference_agent,
+                                         test_schedule(), kTotal,
+                                         reference_run);
+
+  // --- leg 1: crash at kCrashAt, carrying the injector state -------------
+  fault::FaultyEnv live_env(make_inner(), fopt);
+  RacAgent doomed_agent(options, library, 0);
+  obs::MemoryTraceSink first_sink;
+  RunOptions first_leg = hardened_run;
+  first_leg.sink = &first_sink;
+  first_leg.checkpoint_every = 5;
+  first_leg.checkpoint_path = checkpoint_path;
+  const AgentTrace before = run_agent(live_env, doomed_agent,
+                                      test_schedule(), kCrashAt, first_leg);
+  const fault::FaultyEnvState env_state = live_env.state();
+
+  // --- leg 2: fresh env + restored fault state, restored agent -----------
+  const RunCheckpoint checkpoint = load_checkpoint_file(checkpoint_path);
+  ASSERT_EQ(checkpoint.completed_iterations,
+            static_cast<std::uint64_t>(kCrashAt));
+  fault::FaultyEnv resumed_env(make_inner(), fopt);
+  resumed_env.restore(env_state);
+  std::istringstream state(checkpoint.agent_state);
+  RacAgent resumed_agent(options, library, 0);
+  resumed_agent.restore(load_agent_snapshot(state));
+  obs::MemoryTraceSink second_sink;
+  RunOptions second_leg = hardened_run;
+  second_leg.sink = &second_sink;
+  second_leg.start_iteration =
+      static_cast<int>(checkpoint.completed_iterations);
+  const AgentTrace after = run_agent(resumed_env, resumed_agent,
+                                     test_schedule(), kTotal, second_leg);
+
+  // --- records, decision trace, learner state: all bitwise ---------------
+  ASSERT_EQ(before.records.size() + after.records.size(),
+            reference.records.size());
+  for (std::size_t i = 0; i < reference.records.size(); ++i) {
+    const IterationRecord& got =
+        i < before.records.size() ? before.records[i]
+                                  : after.records[i - before.records.size()];
+    const IterationRecord& want = reference.records[i];
+    EXPECT_EQ(got.iteration, want.iteration);
+    EXPECT_EQ(got.configuration, want.configuration);
+    EXPECT_EQ(got.response_ms, want.response_ms) << "iteration " << i;
+    EXPECT_EQ(got.throughput_rps, want.throughput_rps);
+  }
+  EXPECT_EQ(jsonl(first_sink) + jsonl(second_sink), jsonl(reference_sink));
+  EXPECT_EQ(final_state(resumed_agent), final_state(reference_agent));
+
+  // --- ground truth: the injector's true history stitches bitwise too ----
+  ASSERT_EQ(live_env.true_history().size() +
+                resumed_env.true_history().size(),
+            reference_env.true_history().size());
+  for (std::size_t i = 0; i < reference_env.true_history().size(); ++i) {
+    const env::PerfSample& got =
+        i < live_env.true_history().size()
+            ? live_env.true_history()[i]
+            : resumed_env.true_history()[i - live_env.true_history().size()];
+    EXPECT_EQ(got.response_ms, reference_env.true_history()[i].response_ms)
+        << "true interval " << i;
+    EXPECT_EQ(got.throughput_rps,
+              reference_env.true_history()[i].throughput_rps);
+  }
 
   std::remove(checkpoint_path.c_str());
 }

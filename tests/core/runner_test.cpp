@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -127,6 +128,31 @@ TEST(AgentTrace, SettledIterationToMinusOneMeansEndOfTrace) {
   EXPECT_EQ(trace.settled_iteration(0, 3, 5, 0.25), -1);
   // from beyond the records: nothing to settle.
   EXPECT_EQ(trace.settled_iteration(25, -1, 5, 0.25), -1);
+}
+
+// Regression (PR 5): a non-finite response time folded into the prefix
+// sums made every later window mean NaN, and the `!(mean > 0 && ...)`
+// comparison then counted those positions as stable -- so a trace
+// poisoned by one bad sensor reading "settled" immediately after it.
+TEST(AgentTrace, NonFiniteSampleCannotSettleOrPoisonLaterWindows) {
+  AgentTrace trace;
+  for (int i = 0; i < 30; ++i) {
+    IterationRecord r;
+    r.iteration = i;
+    r.response_ms = i < 10 ? (i % 2 == 0 ? 100.0 : 900.0) : 200.0;
+    trace.records.push_back(r);
+  }
+  trace.records[12].response_ms = std::numeric_limits<double>::quiet_NaN();
+  const int settled = trace.settled_iteration(0, -1, 5, 0.25);
+  // Settles only once every trailing window excludes the NaN at 12.
+  EXPECT_EQ(settled, 13);
+
+  trace.records[12].response_ms = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(trace.settled_iteration(0, -1, 5, 0.25), 13);
+
+  // A NaN in the last window means no candidate is ever stable.
+  trace.records[29].response_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(trace.settled_iteration(0, -1, 5, 0.25), -1);
 }
 
 // Direct transliteration of settled_iteration's documented contract

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace rac::core {
@@ -111,6 +114,69 @@ TEST(ViolationDetector, RejectsMinHistoryLargerThanWindow) {
   bad.window = 5;
   bad.min_history = 6;
   EXPECT_THROW(ViolationDetector{bad}, std::invalid_argument);
+}
+
+// Regression (PR 5): pvar = |rt - avg| / avg. A non-finite response used
+// to flow straight into the sliding window (poisoning the mean so
+// detection never fired again), and a window of zeros made pvar Inf/NaN.
+TEST(ViolationDetector, NonFiniteInputIsCountedAndDropped) {
+  obs::Registry registry;
+  ViolationOptions opt;
+  opt.registry = &registry;
+  ViolationDetector d(opt);
+  for (int i = 0; i < 10; ++i) d.observe(300.0);
+
+  EXPECT_FALSE(d.observe(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(d.observe(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(d.observe(-std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(registry.counter("core.violation.rejected").value(), 3u);
+
+  // The window and streak are untouched: detection still works.
+  bool fired = false;
+  for (int i = 0; i < 8 && !fired; ++i) fired = d.observe(1500.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ViolationDetector, NegativeInputIsCountedAndDropped) {
+  obs::Registry registry;
+  ViolationOptions opt;
+  opt.registry = &registry;
+  ViolationDetector d(opt);
+  for (int i = 0; i < 10; ++i) d.observe(300.0);
+  EXPECT_FALSE(d.observe(-5.0));
+  EXPECT_EQ(registry.counter("core.violation.rejected").value(), 1u);
+  EXPECT_FALSE(d.last_was_violation());
+}
+
+TEST(ViolationDetector, RejectedSampleDoesNotResetAViolationStreak) {
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) d.observe(300.0);
+  EXPECT_FALSE(d.observe(900.0));
+  EXPECT_FALSE(d.observe(900.0));
+  const int streak = d.consecutive_violations();
+  EXPECT_EQ(streak, 2);
+  // Garbage in between neither extends nor resets the streak.
+  EXPECT_FALSE(d.observe(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(d.consecutive_violations(), streak);
+  EXPECT_TRUE(d.last_was_violation());
+}
+
+TEST(ViolationDetector, ZeroMeanWindowDoesNotProduceNonFinitePvar) {
+  // An all-zero warm-up makes the window mean 0; the floored denominator
+  // must turn a later (positive) sample into a plain violation rather
+  // than an Inf/NaN pvar.
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(d.observe(0.0));
+  bool fired = false;
+  for (int i = 0; i < 8 && !fired; ++i) fired = d.observe(400.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ViolationDetector, ZeroInputAgainstPositiveWindowIsAViolation) {
+  ViolationDetector d;
+  for (int i = 0; i < 10; ++i) d.observe(300.0);
+  d.observe(0.0);  // |0 - 300| / 300 = 1.0 >= 0.3
+  EXPECT_TRUE(d.last_was_violation());
 }
 
 TEST(ViolationDetector, MinHistoryEqualToWindowStillFires) {

@@ -1,0 +1,326 @@
+// Measurement-robustness hardening of the online agent + runner (PR 5):
+// every knob defaults off and must then be invisible; switched on, each
+// one neutralizes the fault class it targets.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rac_agent.hpp"
+#include "core/runner.hpp"
+#include "env/analytic_env.hpp"
+#include "fault/fault_env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rac::core {
+namespace {
+
+using config::Configuration;
+using env::AnalyticEnv;
+using env::AnalyticEnvOptions;
+
+AnalyticEnvOptions env_options(double sigma = 0.1, std::uint64_t seed = 50) {
+  AnalyticEnvOptions opt;
+  opt.noise_sigma = sigma;
+  opt.seed = seed;
+  return opt;
+}
+
+// One-context library, built once per test binary (offline training is the
+// expensive part).
+const InitialPolicyLibrary& shared_library() {
+  static const InitialPolicyLibrary* lib = [] {
+    PolicyInitOptions init;
+    init.coarse_levels = 4;
+    init.offline_td.max_sweeps = 120;
+    auto* l = new InitialPolicyLibrary(build_library(
+        {env::table2_context(1)},
+        [](const env::SystemContext& ctx) {
+          return std::make_unique<AnalyticEnv>(ctx, env_options(0.05, 7));
+        },
+        init));
+    return l;
+  }();
+  return *lib;
+}
+
+RacOptions hardened_options() {
+  RacOptions opt;
+  opt.robustness.clamp = true;
+  opt.robustness.floor = -5.0;
+  opt.robustness.median_of = 3;
+  opt.robustness.freeze_detect_after = 2;
+  opt.safe_fallback.enabled = true;
+  opt.safe_fallback.after_blowouts = 3;
+  opt.safe_fallback.blowout_factor = 2.0;
+  return opt;
+}
+
+bool records_identical(const AgentTrace& a, const AgentTrace& b) {
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i].response_ms != b.records[i].response_ms ||
+        a.records[i].throughput_rps != b.records[i].throughput_rps ||
+        a.records[i].configuration.values() !=
+            b.records[i].configuration.values()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The paper-exact loop must be reproduced bit for bit by (a) the robust
+// measurement path over a clean environment and (b) a fault layer with no
+// faults configured -- the hardening is strictly additive.
+TEST(RobustAgent, CleanRunWithRobustnessPlumbingIsBitwiseIdentical) {
+  const auto ctx = env::table2_context(1);
+
+  RacAgent baseline_agent(RacOptions{}, shared_library(), 0);
+  AnalyticEnv baseline_env(ctx, env_options());
+  const AgentTrace baseline =
+      run_agent(baseline_env, baseline_agent, {}, 20, {});
+
+  RacAgent robust_agent(RacOptions{}, shared_library(), 0);
+  fault::FaultyEnv wrapped(std::make_unique<AnalyticEnv>(ctx, env_options()),
+                           fault::FaultyEnvOptions{});
+  RunOptions robust;
+  robust.robustness.enabled = true;
+  const AgentTrace decorated = run_agent(wrapped, robust_agent, {}, 20, robust);
+
+  EXPECT_TRUE(records_identical(baseline, decorated));
+}
+
+// Satellite 2: with the clamp the unbounded paper reward no longer lets a
+// single spiked measurement dominate every Q-value.
+TEST(RobustAgent, SingleSpikeNoLongerDominatesTheReward) {
+  RacOptions clamped;
+  clamped.robustness.clamp = true;
+  clamped.robustness.floor = -5.0;
+  RacAgent hardened(clamped, InitialPolicyLibrary{});
+  RacAgent paper_exact(RacOptions{}, InitialPolicyLibrary{});
+
+  for (RacAgent* agent : {&hardened, &paper_exact}) {
+    const Configuration c = agent->decide();
+    agent->observe(c, {1.0e6, 1.0});  // monitoring spike: 1000 s "latency"
+  }
+  obs::TraceEvent hardened_event;
+  hardened.annotate(hardened_event);
+  obs::TraceEvent paper_event;
+  paper_exact.annotate(paper_event);
+
+  EXPECT_DOUBLE_EQ(hardened_event.reward, -5.0);
+  // (1000 - 1e6) / 1000: the unclamped penalty that poisons the Q-table.
+  EXPECT_DOUBLE_EQ(paper_event.reward, -999.0);
+}
+
+TEST(RobustAgent, MedianOfThreeFiltersASingleOutlier) {
+  RacOptions opt;
+  opt.robustness.median_of = 3;
+  RacAgent filtered(opt, InitialPolicyLibrary{});
+  RacAgent unfiltered(RacOptions{}, InitialPolicyLibrary{});
+
+  for (RacAgent* agent : {&filtered, &unfiltered}) {
+    const Configuration c = agent->decide();
+    agent->observe(c, {100.0, 10.0});
+    agent->observe(c, {100.0, 10.0});
+    agent->observe(c, {1.0e6, 10.0});  // the outlier
+  }
+  // Median of {100, 100, 1e6} is 100: the blend never sees the spike.
+  EXPECT_DOUBLE_EQ(
+      *filtered.experience().response_ms(filtered.current()), 100.0);
+  EXPECT_GT(*unfiltered.experience().response_ms(unfiltered.current()),
+            1000.0);
+}
+
+TEST(RobustAgent, FreezeDetectorSkipsStuckSensorReadings) {
+  obs::Registry registry;
+  RacOptions opt;
+  opt.registry = &registry;
+  opt.robustness.freeze_detect_after = 2;
+  RacAgent agent(opt, InitialPolicyLibrary{});
+
+  const Configuration c = agent.decide();
+  for (int i = 0; i < 5; ++i) {
+    agent.observe(c, {500.0, 10.0});  // bitwise-identical: sensor stuck
+  }
+  // The first two land (building the repeat evidence); the rest are stale.
+  EXPECT_EQ(registry.counter("core.rac.frozen_samples").value(), 3u);
+  EXPECT_EQ(agent.experience().entries()[0].observation.count, 2u);
+
+  // A fresh (different) value unsticks the detector and is ingested.
+  agent.observe(c, {600.0, 10.0});
+  EXPECT_EQ(agent.experience().entries()[0].observation.count, 3u);
+  EXPECT_EQ(registry.counter("core.rac.frozen_samples").value(), 3u);
+}
+
+TEST(RobustAgent, SafeFallbackRevertsToBestKnownConfiguration) {
+  obs::Registry registry;
+  RacOptions opt;
+  opt.registry = &registry;
+  opt.safe_fallback.enabled = true;
+  opt.safe_fallback.after_blowouts = 2;
+  opt.safe_fallback.blowout_factor = 2.0;  // blowout: rt > 2000 ms
+  RacAgent agent(opt, shared_library(), 0);
+
+  const Configuration first = agent.decide();
+  agent.observe(first, {200.0, 50.0});
+  EXPECT_EQ(agent.blowout_streak(), 0);
+
+  agent.observe(agent.decide(), {5000.0, 1.0});
+  EXPECT_EQ(agent.blowout_streak(), 1);
+  agent.observe(agent.decide(), {5000.0, 1.0});
+  EXPECT_EQ(agent.blowout_streak(), 2);
+
+  const Configuration fallback = agent.decide();
+  EXPECT_EQ(agent.safe_fallbacks(), 1);
+  EXPECT_EQ(agent.blowout_streak(), 0);  // streak consumed by the fallback
+  ASSERT_TRUE(agent.experience().best().has_value());
+  EXPECT_EQ(fallback, *agent.experience().best());
+  EXPECT_EQ(registry.counter("core.rac.safe_fallbacks").value(), 1u);
+
+  obs::TraceEvent event;
+  agent.annotate(event);
+  EXPECT_TRUE(event.safe_fallback);
+
+  // A good interval at the fallback config ends the emergency.
+  agent.observe(fallback, {200.0, 50.0});
+  agent.decide();
+  EXPECT_EQ(agent.safe_fallbacks(), 1);
+}
+
+TEST(RobustAgent, RunnerRetryRecoversADroppedInterval) {
+  obs::Registry registry;
+  fault::FaultyEnvOptions fopt;
+  fopt.registry = &registry;
+  {
+    fault::FaultEpisode drop;
+    drop.kind = fault::FaultKind::kDrop;
+    drop.start_interval = 2;
+    fopt.schedule.push_back(drop);
+  }
+  fault::FaultyEnv env(
+      std::make_unique<AnalyticEnv>(env::table2_context(1), env_options()),
+      fopt);
+  RacAgent agent(RacOptions{}, shared_library(), 0);
+
+  obs::MemoryTraceSink sink;
+  RunOptions options;
+  options.registry = &registry;
+  options.sink = &sink;
+  options.robustness.enabled = true;
+  options.robustness.max_retries = 2;
+  const AgentTrace trace = run_agent(env, agent, {}, 6, options);
+
+  ASSERT_EQ(trace.records.size(), 6u);
+  const auto events = sink.events();
+  EXPECT_EQ(events[2].measure_attempts, 2);  // drop, then a clean retry
+  EXPECT_FALSE(events[2].measurement_missing);
+  EXPECT_EQ(events[2].fault_note, "");  // the attempt that landed was clean
+  EXPECT_EQ(events[3].measure_attempts, 1);
+  EXPECT_EQ(registry.counter("core.fault.measure_retries").value(), 1u);
+  EXPECT_EQ(registry.counter("core.fault.backoff_units").value(), 1u);
+  EXPECT_EQ(registry.counter("core.fault.missing_intervals").value(), 0u);
+}
+
+TEST(RobustAgent, RunnerHoldsLastSampleWhenAllRetriesFail) {
+  obs::Registry registry;
+  fault::FaultyEnvOptions fopt;
+  fopt.registry = &registry;
+  {
+    fault::FaultEpisode outage;  // swallows the attempt plus both retries
+    outage.kind = fault::FaultKind::kDrop;
+    outage.start_interval = 3;
+    outage.duration = 3;
+    fopt.schedule.push_back(outage);
+  }
+  fault::FaultyEnv env(
+      std::make_unique<AnalyticEnv>(env::table2_context(1), env_options()),
+      fopt);
+  RacAgent agent(RacOptions{}, shared_library(), 0);
+
+  obs::MemoryTraceSink sink;
+  RunOptions options;
+  options.registry = &registry;
+  options.sink = &sink;
+  options.robustness.enabled = true;
+  options.robustness.max_retries = 2;
+  const AgentTrace trace = run_agent(env, agent, {}, 8, options);
+
+  ASSERT_EQ(trace.records.size(), 8u);
+  // Hold-last: the lost interval repeats the previous record's sample.
+  EXPECT_DOUBLE_EQ(trace.records[3].response_ms, trace.records[2].response_ms);
+  EXPECT_DOUBLE_EQ(trace.records[3].throughput_rps,
+                   trace.records[2].throughput_rps);
+  const auto events = sink.events();
+  EXPECT_EQ(events[3].measure_attempts, 3);
+  EXPECT_TRUE(events[3].measurement_missing);
+  EXPECT_EQ(events[3].fault_note, "drop");
+  EXPECT_EQ(registry.counter("core.fault.measure_retries").value(), 2u);
+  EXPECT_EQ(registry.counter("core.fault.backoff_units").value(), 3u);  // 1+2
+  EXPECT_EQ(registry.counter("core.fault.missing_intervals").value(), 1u);
+  EXPECT_EQ(registry.counter("core.fault.held_samples").value(), 1u);
+}
+
+TEST(RobustAgent, RejectsBadRobustnessOptions) {
+  RacOptions opt;
+  opt.robustness.median_of = 0;
+  EXPECT_THROW(RacAgent(opt, InitialPolicyLibrary{}), std::invalid_argument);
+  opt = RacOptions{};
+  opt.robustness.freeze_detect_after = -1;
+  EXPECT_THROW(RacAgent(opt, InitialPolicyLibrary{}), std::invalid_argument);
+  opt = RacOptions{};
+  opt.safe_fallback.enabled = true;
+  opt.safe_fallback.after_blowouts = 0;
+  EXPECT_THROW(RacAgent(opt, InitialPolicyLibrary{}), std::invalid_argument);
+  opt = RacOptions{};
+  opt.safe_fallback.enabled = true;
+  opt.safe_fallback.blowout_factor = 0.0;
+  EXPECT_THROW(RacAgent(opt, InitialPolicyLibrary{}), std::invalid_argument);
+
+  AnalyticEnv env(env::table2_context(1), env_options());
+  RacAgent agent(RacOptions{}, InitialPolicyLibrary{});
+  RunOptions bad;
+  bad.robustness.enabled = true;
+  bad.robustness.max_retries = -1;
+  EXPECT_THROW(run_agent(env, agent, {}, 1, bad), std::invalid_argument);
+}
+
+TEST(RobustAgent, SnapshotRoundTripsTheRobustnessState) {
+  const RacOptions opt = hardened_options();
+  RacAgent original(opt, InitialPolicyLibrary{});
+  const Configuration c = original.decide();
+  original.observe(c, {300.0, 10.0});
+  original.observe(c, {300.0, 10.0});   // freeze evidence builds
+  // A sustained (distinct-valued) blowout: the first bad sample is absorbed
+  // by the median-of-3, the second pushes the median past the threshold.
+  original.observe(c, {2500.0, 2.0});
+  EXPECT_EQ(original.blowout_streak(), 0);
+  original.observe(c, {2501.0, 2.0});
+  EXPECT_EQ(original.blowout_streak(), 1);
+
+  RacAgent resumed(opt, InitialPolicyLibrary{});
+  resumed.restore(original.snapshot());
+  EXPECT_EQ(resumed.blowout_streak(), original.blowout_streak());
+
+  // Both continue identically through the median filter / blowout logic.
+  const Configuration next_a = original.decide();
+  const Configuration next_b = resumed.decide();
+  EXPECT_EQ(next_a, next_b);
+  original.observe(next_a, {2502.0, 2.0});
+  resumed.observe(next_b, {2502.0, 2.0});
+  EXPECT_EQ(original.blowout_streak(), resumed.blowout_streak());
+  obs::TraceEvent ea;
+  original.annotate(ea);
+  obs::TraceEvent eb;
+  resumed.annotate(eb);
+  EXPECT_DOUBLE_EQ(ea.reward, eb.reward);
+
+  // Hardening hyperparameters are part of the snapshot contract: restoring
+  // into a differently-configured agent must be refused.
+  RacAgent paper_exact(RacOptions{}, InitialPolicyLibrary{});
+  EXPECT_THROW(paper_exact.restore(original.snapshot()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rac::core

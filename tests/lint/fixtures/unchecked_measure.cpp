@@ -1,0 +1,8 @@
+// rac-lint fixture: direct Environment::measure() calls in the online
+// management loop. Never compiled; only fed to the linter by lint_test.
+void probe(Env& env, Env* remote, const Config& c) {
+  auto a = env.measure(c);      // fires: dot call
+  auto b = remote->measure(c);  // fires: arrow call
+  auto ok = env.try_measure(c);   // clean: the checked API
+  auto boot = env.measure(c);  // rac-lint: allow(unchecked-measure) probe
+}

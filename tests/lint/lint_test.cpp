@@ -136,6 +136,25 @@ TEST(LintRules, LocaleIoIgnoresNonFloatConversions) {
   EXPECT_EQ(count_rule(findings, "locale-io"), 0);
 }
 
+TEST(LintRules, UncheckedMeasureFiresOnDotAndArrowCalls) {
+  const auto findings =
+      lint_fixture("unchecked_measure.cpp", "src/core/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "unchecked-measure"), 2);  // . and ->
+}
+
+TEST(LintRules, UncheckedMeasureScopedToCoreOnly) {
+  const auto findings =
+      lint_fixture("unchecked_measure.cpp", "src/rl/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "unchecked-measure"), 0);
+}
+
+TEST(LintRules, TryMeasureDoesNotTripUncheckedMeasure) {
+  const auto findings = rac::lint::lint_text(
+      "src/core/fixture.cpp",
+      "void f(Env& e, const Config& c) { auto s = e.try_measure(c); }\n");
+  EXPECT_EQ(count_rule(findings, "unchecked-measure"), 0);
+}
+
 TEST(LintRules, FloatEqFiresOnBothOperandOrders) {
   const auto findings =
       lint_fixture("float_eq.cpp", "src/queueing/fixture.cpp");
@@ -176,11 +195,12 @@ TEST(LintRuleTable, IdsAreUniqueAndFindingsReferToThem) {
   std::set<std::string_view> ids;
   for (const auto& rule : rac::lint::rules()) ids.insert(rule.id);
   EXPECT_EQ(ids.size(), rac::lint::rules().size());
-  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(ids.size(), 10u);
   for (const std::string fixture :
        {"rand.cpp", "wall_clock.cpp", "default_registry.cpp",
         "raw_assert.cpp", "iostream.cpp", "include_hygiene.cpp",
-        "float_eq.cpp", "locale_io.cpp", "suppressed.cpp"}) {
+        "float_eq.cpp", "locale_io.cpp", "suppressed.cpp",
+        "unchecked_measure.cpp"}) {
     for (const auto& f : lint_fixture(fixture, "src/core/fixture.cpp")) {
       EXPECT_TRUE(ids.count(f.rule)) << fixture << " -> " << f.rule;
     }

@@ -110,6 +110,41 @@ TEST(ExperienceStore, EntriesKeepFirstObservationOrder) {
   EXPECT_DOUBLE_EQ(entries[0].observation.response_ms, 3.0);
 }
 
+// best() backs the safe-fallback degradation path (PR 5): after repeated
+// SLA blowouts the agent reverts to the best configuration it has ever
+// measured, so the answer must be deterministic and blend-aware.
+TEST(ExperienceStore, BestReturnsLowestBlendedResponse) {
+  ExperienceStore store(0.5);
+  Configuration a;
+  Configuration b;
+  b.set(ParamId::kMaxClients, 400);
+  Configuration c;
+  c.set(ParamId::kMaxClients, 250);
+  store.record(a, 300.0);
+  store.record(b, 100.0);
+  store.record(c, 200.0);
+  ASSERT_TRUE(store.best().has_value());
+  EXPECT_EQ(*store.best(), b);
+  // The winner tracks the BLENDED value: two bad samples drag b behind c.
+  store.record(b, 700.0);  // blend -> 400
+  EXPECT_EQ(*store.best(), c);
+}
+
+TEST(ExperienceStore, BestKeepsEarliestObservationOnTies) {
+  ExperienceStore store;
+  Configuration a;
+  Configuration b;
+  b.set(ParamId::kMaxClients, 400);
+  store.record(b, 150.0);
+  store.record(a, 150.0);
+  EXPECT_EQ(*store.best(), b);  // first recorded wins the tie
+}
+
+TEST(ExperienceStore, BestOnEmptyStoreIsNullopt) {
+  const ExperienceStore store;
+  EXPECT_FALSE(store.best().has_value());
+}
+
 TEST(ExperienceStore, RestoreRoundTripsEntriesAndBlending) {
   ExperienceStore original(0.5);
   Configuration a;

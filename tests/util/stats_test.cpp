@@ -204,6 +204,43 @@ TEST(SlidingWindow, RestoreRejectsOversizedHistory) {
   EXPECT_THROW(w.restore(three), std::invalid_argument);
 }
 
+// Regression (PR 5): a single non-finite sample used to poison the Ewma
+// value / window mean forever -- and the corrupt state would then survive
+// a checkpoint/restore round trip.
+TEST(Ewma, AddRejectsNonFiniteSamples) {
+  Ewma e(0.5);
+  e.add(10.0);
+  EXPECT_THROW(e.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(e.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(e.add(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // The running average is untouched by the rejected samples.
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(SlidingWindow, AddRejectsNonFiniteSamples) {
+  SlidingWindow w(3);
+  w.add(5.0);
+  EXPECT_THROW(w.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(w.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+}
+
+TEST(SlidingWindow, RestoreRejectsNonFiniteSamples) {
+  SlidingWindow w(3);
+  w.add(1.0);
+  const std::vector<double> poisoned = {
+      2.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(w.restore(poisoned), std::invalid_argument);
+  // Failed restore leaves the window unchanged.
+  EXPECT_EQ(w.values(), (std::vector<double>{1.0}));
+}
+
 TEST(RSquared, PerfectFitIsOne) {
   const std::vector<double> y = {1.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);

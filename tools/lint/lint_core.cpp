@@ -198,6 +198,14 @@ const std::vector<LineRule>& line_rules() {
         {},
         /*match_raw=*/true});
     r.push_back(LineRule{
+        "unchecked-measure",
+        std::regex(R"((\.|->)\s*measure\s*\()"),
+        "direct Environment::measure() in the online management loop; "
+        "use try_measure() so a lost interval degrades gracefully, or "
+        "justify an offline/bootstrap probe with a suppression",
+        {"src/core/"},
+        {}});
+    r.push_back(LineRule{
         "float-eq",
         std::regex(std::string(R"((==|!=)\s*[-+]?)") + kFloatLit + "|" +
                    kFloatLit + R"(\s*(==|!=))"),
@@ -253,6 +261,8 @@ const std::vector<RuleInfo>& rules() {
       {"include-hygiene", "no path-traversing quoted includes"},
       {"locale-io", "locale-sensitive numeric I/O; use util/lineio"},
       {"float-eq", "exact float comparison against a literal"},
+      {"unchecked-measure",
+       "raw measure() in src/core/; use try_measure or suppress"},
   };
   return info;
 }
