@@ -43,10 +43,6 @@ constexpr std::size_t kScoreFrom = 10;
 constexpr std::size_t kScoreTo = kIterations;  // per run
 constexpr std::uint64_t kRunSeed = 510;
 constexpr std::uint64_t kFaultSeed = 77;
-// Per-class scores aggregate over a few independent (run seed, fault seed)
-// pairs so the hardened-vs-unhardened comparison is not hostage to one
-// lucky exploration path.
-constexpr int kRepeats = 3;
 
 core::RacOptions agent_options(bool hardened, std::uint64_t seed) {
   core::RacOptions opt;
@@ -142,6 +138,15 @@ int main() {
   using namespace rac;
   bench::banner("Fault robustness",
                 "hardened vs unhardened agents per injected fault class");
+  bench::set_report_seed(kRunSeed);
+
+  // Per-class scores aggregate over a few independent (run seed, fault
+  // seed) pairs so the hardened-vs-unhardened comparison is not hostage to
+  // one lucky exploration path. RAC_BENCH_QUICK keeps a single repeat (and
+  // trains with fewer sweeps): the run is then a determinism probe, not an
+  // acceptance measurement, so quick-mode exit codes are tracked but only
+  // gated against the quick-mode baseline.
+  const int repeats = bench::scaled(3, 1);
 
   const auto ctx = env::table2_context(1);
   const auto switched_ctx = env::table2_context(3);
@@ -155,7 +160,7 @@ int main() {
   for (const auto& c : {ctx, switched_ctx}) {
     env::AnalyticEnv offline_env(c, bench::default_env_options(7));
     core::PolicyInitOptions init;
-    init.offline_td.max_sweeps = 80;
+    init.offline_td.max_sweeps = bench::scaled(80, 40);
     library.add(core::learn_initial_policy(offline_env, init));
   }
 
@@ -240,15 +245,15 @@ int main() {
   std::vector<Gap> gaps;
   for (const ClassSpec& spec : classes) {
     ClassResult sum[2];  // [0] unhardened, [1] hardened
-    for (int rep = 0; rep < kRepeats; ++rep) {
+    for (int rep = 0; rep < repeats; ++rep) {
       const std::uint64_t run_seed = kRunSeed + static_cast<std::uint64_t>(rep);
       const std::uint64_t fault_seed =
           kFaultSeed + static_cast<std::uint64_t>(rep);
       for (int h = 0; h < 2; ++h) {
         const ClassResult r =
             run_one(schedule, library, spec, h == 1, run_seed, fault_seed);
-        sum[h].mean_true_reward += r.mean_true_reward / kRepeats;
-        sum[h].mean_true_rt += r.mean_true_rt / kRepeats;
+        sum[h].mean_true_reward += r.mean_true_reward / repeats;
+        sum[h].mean_true_rt += r.mean_true_rt / repeats;
         sum[h].intervals += r.intervals;
       }
     }
@@ -272,11 +277,17 @@ int main() {
             << (transparent ? "PASS" : "FAIL") << "\n";
   for (const Gap& g : gaps) {
     const bool ok = g.hardened >= g.unhardened;
-    pass = pass && ok;
+    // Quick mode runs one repeat over shortened horizons -- far too few
+    // samples for the hardened-vs-unhardened comparison to be a gate.
+    // Quick runs probe determinism (trace digest) and transparency only;
+    // the statistical claim is gated by the full-size run.
+    if (!bench::quick()) pass = pass && ok;
     std::cout << "CHECK: hardened >= unhardened mean true reward ["
               << g.name << "] : " << util::fmt(g.hardened, 4) << " vs "
               << util::fmt(g.unhardened, 4) << " : "
-              << (ok ? "PASS" : "FAIL") << "\n";
+              << (ok ? "PASS" : bench::quick() ? "FAIL (ungated: quick)"
+                                               : "FAIL")
+              << "\n";
   }
 
   bench::paper_note(

@@ -15,13 +15,21 @@ int main() {
   using namespace rac;
   bench::banner("Figure 5", "performance due to different auto-configuration policies");
 
-  const auto schedule = bench::paper_schedule();
+  // RAC_BENCH_QUICK shrinks each context segment 30 -> 10 iterations (the
+  // regression suite needs determinism, not figure fidelity).
+  const int seg = bench::scaled(30, 10);
+  core::ContextSchedule schedule = bench::paper_schedule();
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    schedule[i].start_iteration = static_cast<int>(i) * seg;
+  }
+  const int iterations = 3 * seg;
   const std::vector<env::SystemContext> contexts = {
       schedule[0].context, schedule[1].context, schedule[2].context};
   std::cout << "training initial policies offline (Algorithm 2) ...\n";
   const auto library = bench::build_offline_library(contexts);
 
   const std::uint64_t run_seed = 100;
+  bench::set_report_seed(run_seed);
 
   // The four scenarios are independent (own agent, own environment); run
   // them concurrently on the shared pool. Slot order == construction order.
@@ -36,10 +44,10 @@ int main() {
   baselines::HillClimbAgent hill;
   auto env4 = bench::make_env(contexts[0], run_seed);
   const std::vector<core::AgentTrace> traces = bench::run_parallel({
-      [&] { return bench::run_traced(*env1, rac, schedule, 90); },
-      [&] { return bench::run_traced(*env2, static_agent, schedule, 90); },
-      [&] { return bench::run_traced(*env3, tae, schedule, 90); },
-      [&] { return bench::run_traced(*env4, hill, schedule, 90); },
+      [&] { return bench::run_traced(*env1, rac, schedule, iterations); },
+      [&] { return bench::run_traced(*env2, static_agent, schedule, iterations); },
+      [&] { return bench::run_traced(*env3, tae, schedule, iterations); },
+      [&] { return bench::run_traced(*env4, hill, schedule, iterations); },
   });
 
   bench::report_traces("Figure 5: response time per iteration", "iteration",
@@ -50,9 +58,9 @@ int main() {
   const double rac_overall = traces[0].mean_response_ms();
   for (const auto& trace : traces) {
     const double overall = trace.mean_response_ms();
-    summary.add_row({trace.agent, util::fmt(trace.mean_response_ms(0, 30), 1),
-                     util::fmt(trace.mean_response_ms(30, 60), 1),
-                     util::fmt(trace.mean_response_ms(60, 90), 1),
+    summary.add_row({trace.agent, util::fmt(trace.mean_response_ms(0, seg), 1),
+                     util::fmt(trace.mean_response_ms(seg, 2 * seg), 1),
+                     util::fmt(trace.mean_response_ms(2 * seg, 3 * seg), 1),
                      util::fmt(overall, 1),
                      util::fmt(overall / rac_overall, 2) + "x"});
   }
@@ -61,9 +69,9 @@ int main() {
   bench::report_metrics({"core.rac.", "core.violation.", "core.runner.",
                          "rl.td.", "env.analytic."});
   for (int segment = 0; segment < 3; ++segment) {
-    const int start = segment * 30;
+    const int start = segment * seg;
     std::cout << "RAC settled in context-" << segment + 1 << " after "
-              << traces[0].settled_iteration(start, start + 30, 5, 0.6) - start
+              << traces[0].settled_iteration(start, start + seg, 5, 0.6) - start
               << " iterations\n";
   }
 

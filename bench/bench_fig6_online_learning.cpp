@@ -25,10 +25,15 @@ int main() {
     staging.num_clients = 360;
     env::AnalyticEnv offline_env(ctx, staging);
     core::PolicyInitOptions init;
-    init.offline_td.max_sweeps = 150;
+    init.offline_td.max_sweeps = bench::scaled(150, 40);
     library.add(core::learn_initial_policy(offline_env, init));
   }
   const std::uint64_t run_seed = 200;
+  bench::set_report_seed(run_seed);
+  // RAC_BENCH_QUICK shrinks the runs 40 -> 16 iterations; the summary
+  // windows follow (first/last quarter instead of first/last 10).
+  const int iterations = bench::scaled(40, 16);
+  const int window = iterations / 4;
 
   std::vector<core::AgentTrace> traces;
   {
@@ -36,7 +41,7 @@ int main() {
     opt.seed = run_seed;
     core::RacAgent with_online(opt, library, 0);
     auto env = bench::make_env(ctx, run_seed);
-    traces.push_back(bench::run_traced(*env, with_online, {}, 40));
+    traces.push_back(bench::run_traced(*env, with_online, {}, iterations));
     traces.back().agent = "w/ online learning";
   }
   {
@@ -45,7 +50,7 @@ int main() {
     opt.online_learning = false;
     core::RacAgent without_online(opt, library, 0);
     auto env = bench::make_env(ctx, run_seed);
-    traces.push_back(bench::run_traced(*env, without_online, {}, 40));
+    traces.push_back(bench::run_traced(*env, without_online, {}, iterations));
     traces.back().agent = "w/o online learning";
   }
 
@@ -53,16 +58,19 @@ int main() {
                        traces);
 
   util::TextTable summary(
-      {"agent", "first-10 mean", "last-10 mean", "settled at"});
+      {"agent", "first-window mean", "last-window mean", "settled at"});
   for (const auto& trace : traces) {
-    summary.add_row({trace.agent, util::fmt(trace.mean_response_ms(0, 10), 1),
-                     util::fmt(trace.mean_response_ms(30, 40), 1),
+    summary.add_row({trace.agent,
+                     util::fmt(trace.mean_response_ms(0, window), 1),
+                     util::fmt(trace.mean_response_ms(iterations - window,
+                                                      iterations), 1),
                      std::to_string(trace.settled_iteration(0, -1, 5, 0.5))});
   }
   std::cout << summary.str() << "\nCSV:\n" << summary.csv();
 
-  const double gain = 1.0 - traces[0].mean_response_ms(30, 40) /
-                                traces[1].mean_response_ms(30, 40);
+  const double gain =
+      1.0 - traces[0].mean_response_ms(iterations - window, iterations) /
+                traces[1].mean_response_ms(iterations - window, iterations);
   std::cout << "\nstable-state improvement from online refinement: "
             << util::fmt(gain * 100.0, 1) << "%\n";
   bench::report_metrics({"rl.td.", "core.rac."});

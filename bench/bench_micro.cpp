@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "config/space.hpp"
+#include "harness.hpp"
 #include "core/policy_init.hpp"
 #include "env/analytic_env.hpp"
 #include "env/sim_env.hpp"
@@ -144,4 +145,25 @@ BENCHMARK(BM_PolicyInitialization)->Unit(benchmark::kMillisecond)->Iterations(3)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with the harness banner first: banner() starts
+// the report session, so RAC_BENCH_REPORT captures this binary's phase
+// tree and process stats like every other bench target.
+int main(int argc, char** argv) {
+  rac::bench::banner("Micro-benchmarks",
+                     "google-benchmark suite for the management-loop "
+                     "building blocks");
+  // RAC_BENCH_QUICK=1 shortens every benchmark's measurement window; an
+  // explicit --benchmark_min_time on the command line still wins because
+  // later flags override earlier ones.
+  std::vector<char*> args(argv, argv + argc);
+  static char quick_min_time[] = "--benchmark_min_time=0.01";
+  if (rac::bench::quick()) args.insert(args.begin() + 1, quick_min_time);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

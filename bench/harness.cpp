@@ -1,16 +1,95 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 
 #include "core/library_io.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/pool.hpp"
+#include "obs/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rac::bench {
+
+namespace {
+
+// State of the per-process report session started by banner(). The digest
+// sink lives here (not in the session) because trace_sink() may be touched
+// before banner() runs.
+struct ReportSession {
+  bool active = false;
+  std::string dir;
+  std::string bench;
+  std::uint64_t seed = 0;
+  std::chrono::steady_clock::time_point start{};
+};
+
+ReportSession& report_session() {
+  static ReportSession session;
+  return session;
+}
+
+obs::DigestTraceSink& digest_sink() {
+  static obs::DigestTraceSink sink;
+  return sink;
+}
+
+bool report_env_set() {
+  const char* dir = std::getenv("RAC_BENCH_REPORT");
+  return dir != nullptr && *dir != '\0';
+}
+
+// The bench name keys the report file and run ID; argv[0] is not
+// available here, so resolve the executable basename from the OS.
+std::string executable_name() {
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !exe.empty()) return exe.filename().string();
+  return "bench_unknown";
+}
+
+void write_report_at_exit() {
+  ReportSession& session = report_session();
+  if (!session.active) return;
+  obs::BenchReport report;
+  report.bench = session.bench;
+  report.seed = session.seed;
+  report.threads = obs::shared_pool().size();
+  report.quick = quick();
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - session.start)
+                       .count();
+  report.trace_digest = digest_sink().digest();
+  report.phases = obs::Profiler::default_profiler().snapshot();
+  report.metrics = obs::default_registry().snapshot();
+  obs::fill_host_metadata(report);
+  try {
+    obs::write_bench_report(session.dir, report);
+    std::cout << "bench report -> " << session.dir << "/" << report.bench
+              << ".json (" << obs::run_id(report) << ")\n";
+  } catch (const std::exception& e) {
+    std::cerr << "bench report: write failed: " << e.what() << "\n";
+  }
+}
+
+}  // namespace
+
+bool quick() {
+  static const bool value = [] {
+    const char* v = std::getenv("RAC_BENCH_QUICK");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+  }();
+  return value;
+}
+
+int scaled(int full, int quick_value) { return quick() ? quick_value : full; }
+
+void set_report_seed(std::uint64_t seed) { report_session().seed = seed; }
 
 env::AnalyticEnvOptions default_env_options(std::uint64_t seed,
                                             double noise_sigma) {
@@ -41,7 +120,11 @@ std::string library_cache_name(const std::vector<env::SystemContext>& contexts,
     name += workload::mix_name(context.mix);
     name += std::to_string(static_cast<int>(context.level));
   }
-  name += "-s" + std::to_string(seed) + ".rac";
+  name += "-s" + std::to_string(seed);
+  // Quick-mode builds train with fewer sweeps; never let them satisfy (or
+  // be satisfied by) a full-mode cache entry.
+  if (quick()) name += "-q";
+  name += ".rac";
   return name;
 }
 
@@ -93,7 +176,7 @@ core::InitialPolicyLibrary build_offline_library(
   }
 
   core::PolicyInitOptions init;
-  init.offline_td.max_sweeps = 150;
+  init.offline_td.max_sweeps = scaled(150, 40);
   core::InitialPolicyLibrary library = core::build_library(
       contexts,
       [&](const env::SystemContext& ctx) { return make_env(ctx, seed); },
@@ -159,6 +242,30 @@ void report_traces(const std::string& title, const std::string& x_label,
 }
 
 void banner(const std::string& artifact, const std::string& description) {
+  ReportSession& session = report_session();
+  if (session.start == std::chrono::steady_clock::time_point{}) {
+    session.start = std::chrono::steady_clock::now();
+    session.bench = executable_name();
+    if (report_env_set()) {
+      session.dir = std::getenv("RAC_BENCH_REPORT");
+      session.active = true;
+      // Construct every static the atexit writer touches BEFORE registering
+      // it: atexit handlers and static destructors share one LIFO, so
+      // anything first constructed after this registration is destroyed
+      // before the writer runs. That covers the sinks, the default metrics
+      // registry (a destructible function-local static), and the shared
+      // pool -- which must not be first-constructed during exit either,
+      // since that would spawn worker threads mid-teardown.
+      digest_sink();
+      trace_sink();
+      obs::default_registry();
+      obs::Profiler::default_profiler();
+      obs::shared_pool();
+      std::atexit(write_report_at_exit);
+      std::cout << "bench report session: " << session.dir << "/"
+                << session.bench << ".json at exit\n";
+    }
+  }
   std::cout << "==================================================================\n"
             << artifact << " -- " << description << "\n"
             << "==================================================================\n";
@@ -170,6 +277,10 @@ void paper_note(const std::string& expectation, const std::string& measured) {
 }
 
 obs::TraceSink& trace_sink() {
+  // Composition with the report digest: RAC_TRACE and RAC_BENCH_REPORT are
+  // independent. RAC_TRACE alone -> JSONL sink; RAC_BENCH_REPORT alone ->
+  // digest sink; both -> a tee feeding both, so the report's digest covers
+  // exactly the events the trace file received; neither -> null sink.
   static std::unique_ptr<obs::TraceSink> sink = [] {
     std::unique_ptr<obs::TraceSink> from_env;
     try {
@@ -181,7 +292,29 @@ obs::TraceSink& trace_sink() {
       std::cout << "decision trace -> "
                 << static_cast<obs::JsonlTraceSink*>(from_env.get())->path()
                 << " (JSONL, one record per iteration per agent)\n";
+      if (report_env_set()) {
+        struct DigestTee final : obs::TraceSink {
+          explicit DigestTee(std::unique_ptr<obs::TraceSink> inner)
+              : inner_(std::move(inner)) {}
+          void emit(const obs::TraceEvent& event) override {
+            digest_sink().emit(event);
+            inner_->emit(event);
+          }
+          void flush() override { inner_->flush(); }
+          std::unique_ptr<obs::TraceSink> inner_;
+        };
+        return std::unique_ptr<obs::TraceSink>(
+            new DigestTee(std::move(from_env)));
+      }
       return from_env;
+    }
+    if (report_env_set()) {
+      struct DigestOnly final : obs::TraceSink {
+        void emit(const obs::TraceEvent& event) override {
+          digest_sink().emit(event);
+        }
+      };
+      return std::unique_ptr<obs::TraceSink>(new DigestOnly);
     }
     return std::unique_ptr<obs::TraceSink>(new obs::NullTraceSink);
   }();

@@ -49,7 +49,27 @@ void report_traces(const std::string& title, const std::string& x_label,
                    const std::vector<core::AgentTrace>& traces);
 
 /// Print a banner line for the artifact being reproduced.
+///
+/// The first call also starts the bench's observability session: when
+/// $RAC_BENCH_REPORT names a directory, a `rac-bench-report v1` JSON
+/// (profiler phase tree, metrics snapshot, process stats, decision-trace
+/// digest; see obs/bench_report.hpp) is written to
+/// `<dir>/<binary name>.json` at process exit. RAC_BENCH_REPORT and
+/// RAC_TRACE are independent: setting both produces both the JSONL trace
+/// and the report, and the report's digest covers the same events the
+/// trace file received.
 void banner(const std::string& artifact, const std::string& description);
+
+/// True when $RAC_BENCH_QUICK=1: gated benches shrink iteration and sweep
+/// counts so the regression-check suite runs in seconds, deterministically.
+bool quick();
+
+/// `full` normally, `quick_value` under RAC_BENCH_QUICK=1.
+int scaled(int full, int quick_value);
+
+/// Seed recorded in this bench's report run ID (default 0); call with the
+/// scenario's primary seed before exit.
+void set_report_seed(std::uint64_t seed);
 
 /// Print the paper-vs-measured summary note.
 void paper_note(const std::string& expectation, const std::string& measured);

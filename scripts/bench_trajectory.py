@@ -1,0 +1,397 @@
+#!/usr/bin/env python3
+"""Bench-report aggregation and perf-trajectory regression gating.
+
+Dependency-free (stdlib only). Drives the declared bench suite with
+RAC_BENCH_REPORT set, aggregates the per-bench `rac-bench-report v1` JSON
+files into one trajectory entry, and maintains the checked-in
+BENCH_trajectory.json (schema `rac-bench-trajectory v1`, one entry per
+PR/baseline refresh).
+
+Subcommands:
+  sweep    run the suite, collect reports + exit codes into --reports DIR
+  collect  print the trajectory entry aggregated from --reports DIR
+  append   append that entry to the trajectory file (the baseline refresh)
+  report   render the trajectory as a table (one row per entry)
+  check    sweep (quick) into a temp dir and gate against the last
+           matching baseline entry; used by the `bench_regression_check`
+           ctest
+
+Gating rules (check):
+  * a bench missing its report, or whose exit code regressed 0 -> nonzero
+    relative to the baseline, always fails;
+  * a decision-trace digest mismatch always fails -- the digest only moves
+    when the benches' decisions changed, which a perf PR must not do
+    silently (refresh the baseline with `append` when the change is
+    intentional);
+  * per-phase wall time is gated at +25% over baseline for phases costing
+    >= 100 ms in the baseline, with up to 2 re-runs taking the minimum
+    (noise robustness); phases absent from either side are skipped, so a
+    warm library cache never trips the gate;
+  * total wall_ms is recorded but not gated (too noisy across hosts and
+    cache states);
+  * wall gates are skipped entirely when the host fingerprint (nproc,
+    build type, compiler) differs from the baseline's.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA_REPORT = "rac-bench-report v1"
+SCHEMA_TRAJECTORY = "rac-bench-trajectory v1"
+
+# The gated suite. Order is run order; every name is a binary in
+# <build-dir>/bench/.
+SUITE = [
+    "bench_fig5_policy_comparison",
+    "bench_fig6_online_learning",
+    "bench_micro",
+    "bench_parallel_init",
+    "bench_fault_robustness",
+]
+
+PHASE_GATE_RATIO = 1.25      # fail a gated phase at +25% over baseline
+PHASE_GATE_FLOOR_US = 100_000.0  # only gate phases >= 100 ms in baseline
+MAX_RERUNS = 2               # extra runs (min taken) before failing a phase
+
+
+def log(msg):
+    print(f"bench_trajectory: {msg}", flush=True)
+
+
+def run_bench(build_dir, bench, reports_dir, quick, extra_env=None):
+    """Run one bench with reporting on; returns its exit code."""
+    exe = os.path.join(build_dir, "bench", bench)
+    if not os.path.exists(exe):
+        log(f"MISSING binary {exe}")
+        return 127
+    env = dict(os.environ)
+    env["RAC_BENCH_REPORT"] = reports_dir
+    if quick:
+        env["RAC_BENCH_QUICK"] = "1"
+    else:
+        env.pop("RAC_BENCH_QUICK", None)
+    if extra_env:
+        env.update(extra_env)
+    log_path = os.path.join(reports_dir, bench + ".log")
+    with open(log_path, "w") as log_file:
+        proc = subprocess.run(
+            [exe], stdout=log_file, stderr=subprocess.STDOUT, env=env
+        )
+    return proc.returncode
+
+
+def sweep(build_dir, reports_dir, quick, benches=None):
+    """Run the suite; write exit codes to <reports>/sweep.json."""
+    os.makedirs(reports_dir, exist_ok=True)
+    exit_codes = {}
+    for bench in benches or SUITE:
+        log(f"running {bench} (quick={quick}) ...")
+        exit_codes[bench] = run_bench(build_dir, bench, reports_dir, quick)
+        log(f"  -> exit {exit_codes[bench]}")
+    with open(os.path.join(reports_dir, "sweep.json"), "w") as out:
+        json.dump({"quick": quick, "exit_codes": exit_codes}, out, indent=1)
+    return exit_codes
+
+
+def flatten_phases(node, prefix="", out=None):
+    """'a/b' -> inclusive_us for every phase under the synthetic root."""
+    if out is None:
+        out = {}
+    for child in node.get("children", []):
+        path = f"{prefix}/{child['name']}" if prefix else child["name"]
+        out[path] = child.get("inclusive_us", 0.0)
+        flatten_phases(child, path, out)
+    return out
+
+
+def load_report(reports_dir, bench):
+    path = os.path.join(reports_dir, bench + ".json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != SCHEMA_REPORT:
+        raise SystemExit(
+            f"bench_trajectory: {path}: unsupported schema "
+            f"{report.get('schema')!r} (want {SCHEMA_REPORT!r})"
+        )
+    return report
+
+
+def collect(reports_dir):
+    """Aggregate one sweep's reports into a trajectory entry."""
+    sweep_path = os.path.join(reports_dir, "sweep.json")
+    exit_codes = {}
+    quick = None
+    if os.path.exists(sweep_path):
+        with open(sweep_path) as f:
+            sweep_info = json.load(f)
+        exit_codes = sweep_info.get("exit_codes", {})
+        quick = sweep_info.get("quick")
+
+    entry = {"git_sha": "unknown", "quick": quick, "host": {}, "benches": {}}
+    for bench in SUITE:
+        report = load_report(reports_dir, bench)
+        record = {"exit_code": exit_codes.get(bench)}
+        if report is not None:
+            entry["git_sha"] = report.get("git_sha", entry["git_sha"])
+            if quick is None:
+                entry["quick"] = report.get("quick", False)
+            host = report.get("host", {})
+            entry["host"] = {
+                "nproc": host.get("nproc"),
+                "build_type": host.get("build_type"),
+                "compiler": host.get("compiler"),
+            }
+            record.update(
+                {
+                    "run_id": report.get("run_id"),
+                    "wall_ms": report.get("wall_ms"),
+                    "trace_digest": report.get("trace_digest"),
+                    "peak_rss_bytes": report.get("process", {}).get(
+                        "peak_rss_bytes"
+                    ),
+                    "phases": flatten_phases(report.get("phases", {})),
+                }
+            )
+        entry["benches"][bench] = record
+    return entry
+
+
+def load_trajectory(path):
+    if not os.path.exists(path):
+        return {"schema": SCHEMA_TRAJECTORY, "entries": []}
+    with open(path) as f:
+        trajectory = json.load(f)
+    if trajectory.get("schema") != SCHEMA_TRAJECTORY:
+        raise SystemExit(
+            f"bench_trajectory: {path}: unsupported schema "
+            f"{trajectory.get('schema')!r}"
+        )
+    return trajectory
+
+
+def append(reports_dir, trajectory_path, label):
+    entry = collect(reports_dir)
+    if label:
+        entry["label"] = label
+    trajectory = load_trajectory(trajectory_path)
+    trajectory["entries"].append(entry)
+    tmp = trajectory_path + ".tmp"
+    with open(tmp, "w") as out:
+        json.dump(trajectory, out, indent=1)
+        out.write("\n")
+    os.replace(tmp, trajectory_path)
+    log(
+        f"appended entry {len(trajectory['entries'])} "
+        f"({entry['git_sha'][:12]}, quick={entry['quick']}) "
+        f"to {trajectory_path}"
+    )
+
+
+def report(trajectory_path, last):
+    trajectory = load_trajectory(trajectory_path)
+    entries = trajectory["entries"][-last:] if last else trajectory["entries"]
+    if not entries:
+        print("trajectory is empty")
+        return
+    header = ["#", "git_sha", "quick", "label"] + [
+        b.replace("bench_", "") for b in SUITE
+    ]
+    rows = [header]
+    base = len(trajectory["entries"]) - len(entries)
+    for i, entry in enumerate(entries):
+        row = [
+            str(base + i + 1),
+            str(entry.get("git_sha", "?"))[:12],
+            str(entry.get("quick")),
+            str(entry.get("label", ""))[:24],
+        ]
+        for bench in SUITE:
+            record = entry.get("benches", {}).get(bench, {})
+            wall = record.get("wall_ms")
+            code = record.get("exit_code")
+            cell = "-" if wall is None else f"{wall / 1000.0:.1f}s"
+            if code not in (0, None):
+                cell += f"!e{code}"
+            row.append(cell)
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    for r in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+
+
+def find_baseline(trajectory, quick):
+    """Last entry recorded in the same mode; None when there is none."""
+    for entry in reversed(trajectory["entries"]):
+        if bool(entry.get("quick")) == bool(quick):
+            return entry
+    return None
+
+
+def gated_phase_regressions(base_record, cur_record):
+    """Phase paths over the +25% gate (baseline >= floor, present in both)."""
+    over = []
+    base_phases = base_record.get("phases") or {}
+    cur_phases = cur_record.get("phases") or {}
+    for path, base_us in base_phases.items():
+        if base_us < PHASE_GATE_FLOOR_US or path not in cur_phases:
+            continue
+        if cur_phases[path] > base_us * PHASE_GATE_RATIO:
+            over.append((path, base_us, cur_phases[path]))
+    return over
+
+
+def check(build_dir, trajectory_path, quick, keep_reports):
+    trajectory = load_trajectory(trajectory_path)
+    baseline = find_baseline(trajectory, quick)
+    if baseline is None:
+        log(
+            f"no baseline entry (quick={quick}) in {trajectory_path}; "
+            "nothing to gate -- PASS (bootstrap with "
+            "`bench_trajectory.py sweep` + `append`)"
+        )
+        return 0
+
+    tmp_dir = tempfile.mkdtemp(prefix="rac-bench-check-")
+    sweep(build_dir, tmp_dir, quick)
+    current = collect(tmp_dir)
+
+    host_matches = current["host"] == baseline.get("host")
+    if not host_matches:
+        log(
+            f"host fingerprint differs (baseline {baseline.get('host')}, "
+            f"current {current['host']}); wall gates skipped"
+        )
+
+    failures = []
+    for bench in SUITE:
+        base_record = baseline.get("benches", {}).get(bench)
+        cur_record = current["benches"].get(bench, {})
+        if base_record is None:
+            log(f"{bench}: not in baseline; skipped")
+            continue
+
+        base_code = base_record.get("exit_code")
+        cur_code = cur_record.get("exit_code")
+        if cur_record.get("run_id") is None:
+            failures.append(f"{bench}: no report produced (exit {cur_code})")
+            continue
+        if base_code == 0 and cur_code != 0:
+            failures.append(
+                f"{bench}: exit code regressed 0 -> {cur_code} (see "
+                f"{os.path.join(tmp_dir, bench + '.log')})"
+            )
+            continue
+
+        base_digest = base_record.get("trace_digest")
+        cur_digest = cur_record.get("trace_digest")
+        if base_digest and cur_digest != base_digest:
+            failures.append(
+                f"{bench}: decision-trace digest diverged "
+                f"({base_digest} -> {cur_digest}); the agents decided "
+                "differently -- refresh the baseline only if intentional"
+            )
+            continue
+
+        if not host_matches:
+            continue
+        over = gated_phase_regressions(base_record, cur_record)
+        reruns = 0
+        while over and reruns < MAX_RERUNS:
+            reruns += 1
+            log(
+                f"{bench}: {len(over)} phase(s) over the wall gate; "
+                f"re-run {reruns}/{MAX_RERUNS} to rule out noise"
+            )
+            run_bench(build_dir, bench, tmp_dir, quick)
+            rerun = collect(tmp_dir)["benches"][bench]
+            merged_phases = dict(cur_record.get("phases") or {})
+            for path, us in (rerun.get("phases") or {}).items():
+                if path in merged_phases:
+                    merged_phases[path] = min(merged_phases[path], us)
+                else:
+                    merged_phases[path] = us
+            cur_record = dict(rerun)
+            cur_record["phases"] = merged_phases
+            over = gated_phase_regressions(base_record, cur_record)
+        for path, base_us, cur_us in over:
+            failures.append(
+                f"{bench}: phase {path} regressed "
+                f"{base_us / 1000.0:.1f} ms -> {cur_us / 1000.0:.1f} ms "
+                f"(gate +{(PHASE_GATE_RATIO - 1.0) * 100.0:.0f}%)"
+            )
+        log(f"{bench}: OK (digest {cur_digest}, exit {cur_code})")
+
+    if failures:
+        for failure in failures:
+            log(f"FAIL: {failure}")
+        log(f"reports kept at {tmp_dir}")
+        return 1
+    log(f"all {len(SUITE)} benches within gates vs baseline "
+        f"{baseline.get('git_sha', '?')[:12]}")
+    if not keep_reports:
+        for name in os.listdir(tmp_dir):
+            os.unlink(os.path.join(tmp_dir, name))
+        os.rmdir(tmp_dir)
+    else:
+        log(f"reports kept at {tmp_dir}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sweep = sub.add_parser("sweep", help="run the suite with reporting on")
+    p_sweep.add_argument("--build-dir", required=True)
+    p_sweep.add_argument("--reports", required=True)
+    p_sweep.add_argument("--quick", action="store_true")
+
+    p_collect = sub.add_parser("collect", help="print the aggregated entry")
+    p_collect.add_argument("--reports", required=True)
+
+    p_append = sub.add_parser("append", help="append the entry (baseline)")
+    p_append.add_argument("--reports", required=True)
+    p_append.add_argument("--trajectory", required=True)
+    p_append.add_argument("--label", default="")
+
+    p_report = sub.add_parser("report", help="render the trajectory")
+    p_report.add_argument("--trajectory", required=True)
+    p_report.add_argument("--last", type=int, default=0)
+
+    p_check = sub.add_parser("check", help="gate against the baseline")
+    p_check.add_argument("--build-dir", required=True)
+    p_check.add_argument("--trajectory", required=True)
+    p_check.add_argument(
+        "--full", action="store_true",
+        help="gate the full-size suite instead of quick mode",
+    )
+    p_check.add_argument("--keep-reports", action="store_true")
+
+    args = parser.parse_args()
+    if args.command == "sweep":
+        codes = sweep(args.build_dir, args.reports, args.quick)
+        return 1 if any(c != 0 for c in codes.values()) else 0
+    if args.command == "collect":
+        print(json.dumps(collect(args.reports), indent=1))
+        return 0
+    if args.command == "append":
+        append(args.reports, args.trajectory, args.label)
+        return 0
+    if args.command == "report":
+        report(args.trajectory, args.last)
+        return 0
+    if args.command == "check":
+        return check(
+            args.build_dir, args.trajectory, not args.full, args.keep_reports
+        )
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

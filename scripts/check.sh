@@ -15,6 +15,13 @@
 #               `fault` -- a cheap focused pass for the injection decorator
 #               and degradation paths when the full RAC_SAN sweep is too
 #               slow for the pipeline.
+#   RAC_BENCH_SMOKE=1 bench smoke: run the gated bench suite in quick
+#               mode with RAC_BENCH_REPORT on (scripts/bench_trajectory.py
+#               sweep) and print the aggregated entry. Catches benches
+#               that crash, stop emitting reports, or lose their
+#               decision-trace digest without waiting for a full-size
+#               sweep. (The regression *gate* already runs inside ctest
+#               above as `bench_regression_check`.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,6 +57,14 @@ if [[ "${RAC_FAULT_SAN:-0}" == "1" ]]; then
   cmake -B "$FAULT_SAN_DIR" -S . -DRAC_WERROR=ON -DRAC_ASAN=ON -DRAC_UBSAN=ON
   cmake --build "$FAULT_SAN_DIR" -j "$(nproc)" --target fault_tests
   ctest --test-dir "$FAULT_SAN_DIR" --output-on-failure -L fault
+fi
+
+if [[ "${RAC_BENCH_SMOKE:-0}" == "1" ]]; then
+  SMOKE_DIR="${BUILD_DIR}/bench-smoke-reports"
+  rm -rf "$SMOKE_DIR"
+  python3 scripts/bench_trajectory.py sweep \
+      --build-dir "$BUILD_DIR" --reports "$SMOKE_DIR" --quick
+  python3 scripts/bench_trajectory.py collect --reports "$SMOKE_DIR"
 fi
 
 if [[ "${RAC_AUDIT:-0}" == "1" ]]; then

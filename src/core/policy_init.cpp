@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/pool.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -44,6 +45,7 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
   obs::Histogram& h_train = registry.histogram("core.policy_init.train_us",
                                                obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_train);
+  const obs::ProfileScope profile("core.policy_init");
 
   InitialPolicy policy;
   policy.context = environment.context();
@@ -65,7 +67,13 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
     // independent of how many measurements `environment` served before.
     util::ThreadPool& pool =
         options.pool != nullptr ? *options.pool : obs::shared_pool();
+    // Workers re-anchor at the submitting thread's open phases so the
+    // profile tree has the same shape at any thread count.
+    const std::vector<std::string> profile_path =
+        obs::Profiler::default_profiler().capture_path();
     pool.parallel_for(samples.size(), [&](std::size_t i) {
+      const obs::ProfileAnchor anchor(profile_path);
+      const obs::ProfileScope sample_profile("policy_init.coarse_sample");
       const auto clone = environment.clone_with_seed(i);
       if (clone == nullptr) {
         throw std::logic_error(
@@ -82,6 +90,7 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
   } else {
     // Shared mutable environment: measure serially in sample order.
     for (std::size_t i = 0; i < samples.size(); ++i) {
+      const obs::ProfileScope sample_profile("policy_init.coarse_sample");
       double total = 0.0;
       for (int rep = 0; rep < options.samples_per_config; ++rep) {
         total += environment.measure(samples[i])  // rac-lint: allow(unchecked-measure) offline probe
@@ -119,10 +128,11 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
         std::to_string(samples.size()) + " samples cannot identify the " +
         std::to_string(surface_width) + "-feature regression surface");
   }
-  policy.surface = util::QuadraticSurface::fit(features, config::kNumParams,
-                                               log_responses, 1e-4,
-                                               surface_degree);
   {
+    const obs::ProfileScope fit_profile("policy_init.fit");
+    policy.surface = util::QuadraticSurface::fit(features, config::kNumParams,
+                                                 log_responses, 1e-4,
+                                                 surface_degree);
     std::vector<double> predicted;
     predicted.reserve(samples.size());
     for (const auto& sample : samples) {
@@ -149,8 +159,11 @@ InitialPolicy learn_initial_policy(env::Environment& environment,
   };
 
   util::Rng rng(options.seed);
-  rl::batch_train(policy.table, samples, reward, options.offline_td, rng,
-                  options.registry);
+  {
+    const obs::ProfileScope td_profile("policy_init.offline_td");
+    rl::batch_train(policy.table, samples, reward, options.offline_td, rng,
+                    options.registry);
+  }
   c_policies.add(1);
   c_samples.add(samples.size() *
                 static_cast<std::size_t>(options.samples_per_config));

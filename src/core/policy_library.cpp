@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/pool.hpp"
+#include "obs/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rac::core {
@@ -62,7 +63,13 @@ InitialPolicyLibrary build_library(
   util::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : obs::shared_pool();
   std::vector<InitialPolicy> policies(contexts.size());
+  const obs::ProfileScope profile("core.build_library");
+  // Workers re-anchor at the submitting thread's open phases (including
+  // the scope above) so the profile tree is thread-count invariant.
+  const std::vector<std::string> profile_path =
+      obs::Profiler::default_profiler().capture_path();
   pool.parallel_for(contexts.size(), [&](std::size_t i) {
+    const obs::ProfileAnchor anchor(profile_path);
     auto environment = make_env(contexts[i]);
     policies[i] = learn_initial_policy(*environment, options);
   });

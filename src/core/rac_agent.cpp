@@ -9,6 +9,7 @@
 
 #include "env/context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "util/log.hpp"
 
@@ -134,6 +135,7 @@ double RacAgent::lookup_response(const config::Configuration& c) const {
 void RacAgent::retrain() {
   retrain_count_->add(1);
   const obs::ScopedTimer timer(retrain_us_);
+  const obs::ProfileScope profile("rac.retrain");
   // Batch sweep over every remembered state plus the current one, so the
   // fresh observation propagates through the Q-table (Section 4.2). Sweep
   // in canonical (sorted) state order: the result must not depend on how

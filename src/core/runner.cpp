@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 
 namespace rac::core {
@@ -178,7 +179,12 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
     bool missing = false;
     {
       const obs::ScopedTimer timer(&h_iteration);
-      applied = agent.decide();
+      const obs::ProfileScope iteration_profile("runner.iteration");
+      {
+        const obs::ProfileScope decide_profile("runner.decide");
+        applied = agent.decide();
+      }
+      const obs::ProfileScope measure_profile("runner.measure");
       if (!options.robustness.enabled) {
         // Paper-exact path: the monitor cannot fail, every interval lands.
         sample = environment.measure(applied);  // rac-lint: allow(unchecked-measure)

@@ -1,0 +1,37 @@
+// Counting global operator new/delete, compiled only when the CMake
+// option RAC_ALLOC_HOOK is ON (see process_stats.hpp for the opt-in
+// contract). The replacements forward to malloc/free and bump relaxed
+// atomics while counting is enabled; the unreplaced aligned/nothrow forms
+// funnel through these per the standard's default definitions.
+#include <cstdlib>
+#include <new>
+
+#include "obs/process_stats.hpp"
+
+namespace {
+
+using rac::obs::detail::alloc_hook_state;
+
+void* counted_alloc(std::size_t size) {
+  alloc_hook_state().record(size);
+  // Zero-size new must return a unique pointer; malloc(0) may return null.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+struct MarkCompiled {
+  MarkCompiled() noexcept {
+    alloc_hook_state().compiled.store(true, std::memory_order_relaxed);
+  }
+} const g_mark_compiled;
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

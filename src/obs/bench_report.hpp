@@ -1,0 +1,69 @@
+// Machine-readable bench reports: the `rac-bench-report v1` schema.
+//
+// Every bench binary (via bench::banner) fills a BenchReport at exit and
+// writes it as one JSON file per bench into the directory named by
+// $RAC_BENCH_REPORT. The schema is versioned and flat enough for
+// dependency-free tooling (scripts/bench_trajectory.py) to aggregate:
+//
+//   { "schema": "rac-bench-report v1",
+//     "bench": "...", "run_id": "<git_sha>-<bench>-s<seed>-t<threads>",
+//     "git_sha": "...", "seed": N, "threads": N, "quick": bool,
+//     "wall_ms": F, "trace_digest": "...",
+//     "host": {"nproc": N, "hostname": "...", "build_type": "...",
+//              "compiler": "..."},
+//     "process": {"peak_rss_bytes": N, "alloc_count": N, "alloc_bytes": N,
+//                 "alloc_hook_compiled": bool},
+//     "phases": {profiler tree, see obs/profiler.hpp},
+//     "metrics": {registry snapshot, see MetricsSnapshot::to_json} }
+//
+// All numbers go through util/lineio shortest-decimal formatting, so the
+// files are locale-immune and byte-stable for identical inputs. Writes use
+// util::atomic_write_file: readers never see a torn report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+#include "obs/profiler.hpp"
+
+namespace rac::obs {
+
+struct BenchReport {
+  std::string bench;         // binary name, e.g. "bench_fig5_policy_comparison"
+  std::string git_sha;       // "unknown" when not discoverable
+  std::uint64_t seed = 0;
+  std::size_t threads = 1;
+  bool quick = false;
+  double wall_ms = 0.0;
+  std::string trace_digest;  // "" when no digest sink was attached
+  std::string hostname;
+  unsigned nproc = 0;
+  std::string build_type;
+  std::string compiler;
+  ProcessStats process;
+  PhaseNode phases;
+  MetricsSnapshot metrics;
+};
+
+/// "<git_sha>-<bench>-s<seed>-t<threads>".
+std::string run_id(const BenchReport& report);
+
+/// The full rac-bench-report v1 JSON document.
+std::string to_json(const BenchReport& report);
+
+/// Atomically write `to_json(report)` to `<dir>/<report.bench>.json`.
+/// Throws std::ios_base::failure on I/O errors.
+void write_bench_report(const std::string& dir, const BenchReport& report);
+
+/// HEAD commit of the checkout this binary was built from, resolved at
+/// call time by reading .git/HEAD (and the ref file or packed-refs it
+/// points to). Returns "unknown" when undiscoverable. `source_dir`
+/// defaults to the compiled-in project source directory.
+std::string discover_git_sha(const std::string& source_dir = "");
+
+/// Fills git_sha, hostname, nproc, build_type, compiler and process stats.
+void fill_host_metadata(BenchReport& report);
+
+}  // namespace rac::obs

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/lineio.hpp"
+
 namespace rac::obs {
 
 namespace {
@@ -16,11 +18,11 @@ void add_double(std::atomic<double>& cell, double delta) noexcept {
   }
 }
 
-std::string fmt_double(double v) {
-  std::ostringstream os;
-  os << std::setprecision(6) << v;
-  return os.str();
-}
+// Shortest-decimal via to_chars: locale-immune and exact, so the text and
+// JSON exporters render the same bytes and the JSON parses back to the
+// identical double (the setprecision(6) ostream formatting this replaced
+// both truncated and honored the global locale's decimal point).
+std::string fmt_double(double v) { return util::format_double_decimal(v); }
 
 }  // namespace
 

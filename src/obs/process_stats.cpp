@@ -1,0 +1,43 @@
+#include "obs/process_stats.hpp"
+
+#include <sys/resource.h>
+
+namespace rac::obs {
+
+namespace detail {
+
+namespace {
+constinit AllocHookState g_alloc_hook_state;
+}  // namespace
+
+AllocHookState& alloc_hook_state() noexcept { return g_alloc_hook_state; }
+
+}  // namespace detail
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+void set_alloc_counting(bool enabled) noexcept {
+  detail::alloc_hook_state().enabled.store(enabled,
+                                           std::memory_order_relaxed);
+}
+
+bool alloc_hook_compiled() noexcept {
+  return detail::alloc_hook_state().compiled.load(std::memory_order_relaxed);
+}
+
+ProcessStats process_stats() {
+  const auto& state = detail::alloc_hook_state();
+  ProcessStats stats;
+  stats.peak_rss_bytes = peak_rss_bytes();
+  stats.alloc_count = state.count.load(std::memory_order_relaxed);
+  stats.alloc_bytes = state.bytes.load(std::memory_order_relaxed);
+  stats.alloc_hook_compiled = state.compiled.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace rac::obs

@@ -1,0 +1,57 @@
+// Whole-process resource counters for bench reports: peak RSS and (when
+// compiled in) heap-allocation counts.
+//
+// Peak RSS comes from the kernel (getrusage ru_maxrss), so it needs no
+// instrumentation. Allocation counting replaces global operator new/delete
+// and is therefore opt-in twice over: the replacement is only compiled
+// when CMake option RAC_ALLOC_HOOK is ON (it is OFF by default and forced
+// off under sanitizers, whose interceptors own the allocator), and even
+// then counts only while set_alloc_counting(true). Without the hook the
+// counters read zero and alloc_hook_compiled() reports false, so reports
+// can distinguish "no allocations counted" from "counting unavailable".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rac::obs {
+
+struct ProcessStats {
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  bool alloc_hook_compiled = false;
+};
+
+/// Snapshot of the counters above, taken now.
+ProcessStats process_stats();
+
+/// Peak resident set size of this process, in bytes (0 when unavailable).
+std::uint64_t peak_rss_bytes();
+
+/// Enable/disable allocation counting. No effect unless the counting
+/// operator new replacement was compiled in (RAC_ALLOC_HOOK=ON).
+void set_alloc_counting(bool enabled) noexcept;
+bool alloc_hook_compiled() noexcept;
+
+namespace detail {
+// Shared state between process_stats.cpp and the optional alloc_hook.cpp
+// translation unit. Constant-initialized so the operator new replacement
+// can record during static initialization of other TUs. Not part of the
+// public surface.
+struct AllocHookState {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<bool> enabled{false};
+  std::atomic<bool> compiled{false};
+
+  void record(std::uint64_t size) noexcept {
+    if (!enabled.load(std::memory_order_relaxed)) return;
+    count.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+};
+AllocHookState& alloc_hook_state() noexcept;
+}  // namespace detail
+
+}  // namespace rac::obs

@@ -122,6 +122,36 @@ void JsonlTraceSink::flush() {
   impl_->out.flush();
 }
 
+void DigestTraceSink::emit(const TraceEvent& event) {
+  const std::string line = to_json(event);
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64
+  for (const char c : line) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(h, std::memory_order_relaxed);
+}
+
+std::uint64_t DigestTraceSink::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::string DigestTraceSink::digest() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "c%llu-%llx",
+                static_cast<unsigned long long>(
+                    count_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    sum_.load(std::memory_order_relaxed)));
+  return buf;
+}
+
+void DigestTraceSink::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
 TeeTraceSink::TeeTraceSink(std::vector<TraceSink*> sinks)
     : sinks_(std::move(sinks)) {}
 

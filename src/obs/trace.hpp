@@ -10,6 +10,8 @@
 // the disabled-path cost at a virtual call.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +92,27 @@ class JsonlTraceSink final : public TraceSink {
   std::string path_;
   std::mutex mutex_;
   std::unique_ptr<Impl> impl_;
+};
+
+/// Order-insensitive digest of the emitted event set: each event's JSON
+/// line is hashed (FNV-1a 64) and the per-event hashes are combined by
+/// modular sum plus an event count, so any interleaving of the same events
+/// -- bench fan-out emits from several pool workers concurrently --
+/// produces the same digest. Two runs digest equal iff they emitted the
+/// same multiset of trace records; bench reports carry the digest so the
+/// regression gate can fail hard on decision divergence.
+class DigestTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent& event) override;
+
+  std::uint64_t count() const noexcept;
+  /// "c<count>-<combined hash, hex>"; "c0-0" when nothing was emitted.
+  std::string digest() const;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
 };
 
 /// Fans every event out to several sinks (none owned).

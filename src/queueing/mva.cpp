@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/contracts.hpp"
 
 namespace rac::queueing {
@@ -71,6 +72,7 @@ MvaResult ClosedNetwork::solve(int population) const {
   // The MVA recursion is the analytic model's inner loop; count solves and
   // population-recursion steps so perf work can show where the time goes.
   // One registry lookup per solve (the recursion itself is O(N^2 * S)).
+  const obs::ProfileScope profile("mva.solve");
   obs::Registry& reg = obs::registry_or_default(registry_);
   reg.counter("queueing.mva.solves").add(1);
   reg.counter("queueing.mva.recursion_steps")
@@ -160,6 +162,7 @@ std::vector<double> ClosedNetwork::throughput_curve(int max_population) const {
   if (stations_.empty()) {
     throw std::invalid_argument("throughput_curve: no stations");
   }
+  const obs::ProfileScope profile("mva.throughput_curve");
   obs::Registry& reg = obs::registry_or_default(registry_);
   reg.counter("queueing.mva.throughput_curves").add(1);
   reg.counter("queueing.mva.recursion_steps")

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/profiler.hpp"
 #include "util/lineio.hpp"
 
 namespace rac::rl {
@@ -25,6 +26,7 @@ constexpr int kVersion = 2;
 }  // namespace
 
 void save_qtable(std::ostream& os, const QTable& table) {
+  const obs::ProfileScope profile("rl.qtable.save");
   os << kMagic << " v" << kVersion << "\n";
   os << "default_q " << util::format_double(table.default_q()) << "\n";
   auto states = table.states();
@@ -49,6 +51,7 @@ void save_qtable(std::ostream& os, const QTable& table) {
 }
 
 QTable load_qtable(std::istream& is) {
+  const obs::ProfileScope profile("rl.qtable.load");
   const std::string magic = util::read_token(is, "load_qtable");
   const std::string version = util::read_token(is, "load_qtable");
   if (magic != kMagic) {

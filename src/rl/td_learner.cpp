@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "rl/policy.hpp"
 #include "util/contracts.hpp"
@@ -33,6 +34,7 @@ TdResult batch_train(QTable& table,
     result.converged = true;
     return result;
   }
+  const obs::ProfileScope profile("rl.batch_train");
 
   // The reward model is a pure function of the state for the duration of
   // one batch; memoize it (full backups revisit states heavily).

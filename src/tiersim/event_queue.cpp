@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "util/contracts.hpp"
 
 namespace rac::tiersim {
@@ -56,6 +57,9 @@ bool EventQueue::step() {
 }
 
 std::uint64_t EventQueue::run_until(double until) {
+  // One scope per drain, never per event: a measurement interval executes
+  // tens of thousands of events and per-event clock reads would dominate.
+  const obs::ProfileScope profile("tiersim.run_until");
   std::uint64_t executed = 0;
   while (!heap_.empty()) {
     // Peek past tombstones for the next live event time.

@@ -48,6 +48,10 @@ class PsResource {
   /// Total CPU-seconds of work completed (for utilization accounting).
   double work_done() const noexcept { return work_done_; }
 
+  /// Jobs ever submitted to this resource (monotonic; the DES folds the
+  /// per-interval delta into the metrics registry).
+  std::uint64_t jobs_submitted() const noexcept { return next_id_ - 1; }
+
   /// Time-integral of the active job count (for mean-concurrency stats).
   double busy_job_seconds() const noexcept;
 

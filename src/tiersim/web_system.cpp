@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/timer.hpp"
 #include "util/contracts.hpp"
 
@@ -517,10 +518,14 @@ Measurement ThreeTierSystem::run(double warmup_s, double measure_s) {
   obs::Counter& c_intervals = registry.counter("tiersim.measurement_intervals");
   obs::Counter& c_completed = registry.counter("tiersim.completed_requests");
   obs::Counter& c_forks = registry.counter("tiersim.forks");
+  obs::Counter& c_ps_jobs = registry.counter("tiersim.ps_jobs_submitted");
   obs::Histogram& h_interval =
       registry.histogram("tiersim.interval_us", obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_interval);
+  const obs::ProfileScope profile("tiersim.interval");
 
+  const std::uint64_t ps_jobs_before =
+      impl_->web_cpu.jobs_submitted() + impl_->app_cpu.jobs_submitted();
   impl_->measuring = false;
   impl_->q.run_until(impl_->q.now() + warmup_s);
   impl_->reset_window_stats();
@@ -531,6 +536,8 @@ Measurement ThreeTierSystem::run(double warmup_s, double measure_s) {
   c_intervals.add(1);
   c_completed.add(measurement.completed);
   c_forks.add(measurement.forks);
+  c_ps_jobs.add(impl_->web_cpu.jobs_submitted() +
+                impl_->app_cpu.jobs_submitted() - ps_jobs_before);
   return measurement;
 }
 

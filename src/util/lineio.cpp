@@ -48,6 +48,16 @@ std::string format_double(double v) {
   return std::string(buf, ptr);
 }
 
+std::string format_double_decimal(double v) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general);
+  if (ec != std::errc{}) {
+    throw std::runtime_error("format_double_decimal: to_chars failed");
+  }
+  return std::string(buf, ptr);
+}
+
 std::string format_i64(std::int64_t v) {
   char buf[32];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v, 10);

@@ -27,6 +27,12 @@ namespace rac::util {
 /// Exact hex-float rendering ("-1.8p+3"; "inf"/"nan" pass through).
 std::string format_double(double v);
 
+/// Shortest decimal rendering that parses back to exactly `v`
+/// (std::to_chars general form, e.g. "0.1", "1e+25"). Locale-independent
+/// and a valid JSON number for finite inputs; "inf"/"nan" pass through,
+/// so JSON writers must guard non-finite values themselves.
+std::string format_double_decimal(double v);
+
 /// Locale-independent integer renderings.
 std::string format_i64(std::int64_t v);
 std::string format_u64(std::uint64_t v);

@@ -155,6 +155,24 @@ TEST(LintRules, TryMeasureDoesNotTripUncheckedMeasure) {
   EXPECT_EQ(count_rule(findings, "unchecked-measure"), 0);
 }
 
+TEST(LintRules, UntrackedTimerFiresInSrcOutsideObs) {
+  const auto findings =
+      lint_fixture("untracked_timer.cpp", "src/core/fixture.cpp");
+  // steady_clock + high_resolution_clock fire; the suppressed read does not.
+  EXPECT_EQ(count_rule(findings, "untracked-timer"), 2);
+}
+
+TEST(LintRules, UntrackedTimerExemptInsideObsAndOutsideSrc) {
+  EXPECT_EQ(count_rule(lint_fixture("untracked_timer.cpp",
+                                    "src/obs/fixture.cpp"),
+                       "untracked-timer"),
+            0);
+  EXPECT_EQ(count_rule(lint_fixture("untracked_timer.cpp",
+                                    "bench/fixture.cpp"),
+                       "untracked-timer"),
+            0);
+}
+
 TEST(LintRules, FloatEqFiresOnBothOperandOrders) {
   const auto findings =
       lint_fixture("float_eq.cpp", "src/queueing/fixture.cpp");
@@ -195,12 +213,12 @@ TEST(LintRuleTable, IdsAreUniqueAndFindingsReferToThem) {
   std::set<std::string_view> ids;
   for (const auto& rule : rac::lint::rules()) ids.insert(rule.id);
   EXPECT_EQ(ids.size(), rac::lint::rules().size());
-  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.size(), 11u);
   for (const std::string fixture :
        {"rand.cpp", "wall_clock.cpp", "default_registry.cpp",
         "raw_assert.cpp", "iostream.cpp", "include_hygiene.cpp",
         "float_eq.cpp", "locale_io.cpp", "suppressed.cpp",
-        "unchecked_measure.cpp"}) {
+        "unchecked_measure.cpp", "untracked_timer.cpp"}) {
     for (const auto& f : lint_fixture(fixture, "src/core/fixture.cpp")) {
       EXPECT_TRUE(ids.count(f.rule)) << fixture << " -> " << f.rule;
     }

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <clocale>
 #include <thread>
+
+#include "util/lineio.hpp"
 
 namespace rac::obs {
 namespace {
@@ -193,6 +197,125 @@ TEST(Registry, ConcurrentUpdatesAreLossless) {
 
 TEST(DefaultRegistry, IsAProcessSingleton) {
   EXPECT_EQ(&default_registry(), &default_registry());
+}
+
+// -- histogram JSON export round-trip (regression) ---------------------------
+//
+// The exporter used to render doubles through an ostringstream at the
+// default 6-significant-digit precision AND under the process locale:
+// bounds like 1/3 came back truncated and a comma-decimal locale produced
+// invalid JSON. Every number now routes through
+// util::format_double_decimal (std::to_chars shortest decimal), so parsing
+// the JSON back must reproduce each bound and bucket bit for bit.
+
+// Comma-separated numeric tokens of the JSON array `"key":[...]` that
+// follows `after` in `json`.
+std::vector<std::string> json_array_tokens(const std::string& json,
+                                           const std::string& after,
+                                           const std::string& key) {
+  const auto anchor = json.find(after);
+  EXPECT_NE(anchor, std::string::npos) << json;
+  const std::string marker = "\"" + key + "\":[";
+  const auto open = json.find(marker, anchor);
+  EXPECT_NE(open, std::string::npos) << json;
+  const auto start = open + marker.size();
+  const auto close = json.find(']', start);
+  EXPECT_NE(close, std::string::npos) << json;
+  std::vector<std::string> tokens;
+  std::size_t pos = start;
+  while (pos < close) {
+    auto comma = json.find(',', pos);
+    if (comma == std::string::npos || comma > close) comma = close;
+    tokens.push_back(json.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return tokens;
+}
+
+void expect_histogram_json_round_trips(const std::string& json,
+                                       const HistogramSample& expected) {
+  const std::string anchor = "\"" + expected.name + "\":{";
+
+  const auto bound_tokens = json_array_tokens(json, anchor, "bounds");
+  ASSERT_EQ(bound_tokens.size(), expected.bounds.size());
+  for (std::size_t i = 0; i < bound_tokens.size(); ++i) {
+    const double parsed = util::parse_double(bound_tokens[i], "bound");
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(expected.bounds[i]))
+        << "bound " << i << " token " << bound_tokens[i];
+  }
+
+  const auto bucket_tokens = json_array_tokens(json, anchor, "buckets");
+  ASSERT_EQ(bucket_tokens.size(), expected.bucket_counts.size());
+  for (std::size_t i = 0; i < bucket_tokens.size(); ++i) {
+    EXPECT_EQ(util::parse_u64(bucket_tokens[i], "bucket"),
+              expected.bucket_counts[i])
+        << "bucket " << i;
+  }
+
+  // sum and mean round-trip exactly too (both are doubles in the JSON).
+  for (const char* key : {"sum", "mean"}) {
+    const std::string marker = "\"" + std::string(key) + "\":";
+    const auto open = json.find(marker, json.find(anchor));
+    ASSERT_NE(open, std::string::npos);
+    const auto start = open + marker.size();
+    const auto end = json.find_first_of(",}", start);
+    const double parsed =
+        util::parse_double(json.substr(start, end - start), key);
+    const double want =
+        std::string(key) == "sum" ? expected.sum : expected.mean;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(want))
+        << key;
+  }
+}
+
+Registry& awkward_histogram_registry(Registry& registry) {
+  // Bounds that 6-significant-digit %g formatting mangles: repeating
+  // binary fractions, a magnitude needing 10 digits, and a subnormal-ish
+  // small value.
+  Histogram& h = registry.histogram(
+      "rt.lat", {1e-7, 0.1, 1.0 / 3.0, 2.5000001, 1234567.891});
+  h.observe(0.1);
+  h.observe(0.1);
+  h.observe(0.1);  // the partial sum 0.30000000000000004 needs 17 digits
+  h.observe(0.25);
+  h.observe(3.0);
+  h.observe(2e9);  // overflow bucket
+  return registry;
+}
+
+TEST(HistogramJsonExport, RoundTripsBitForBit) {
+  Registry registry;
+  awkward_histogram_registry(registry);
+  const auto snap = registry.snapshot();
+  const HistogramSample* h = snap.histogram("rt.lat");
+  ASSERT_NE(h, nullptr);
+  expect_histogram_json_round_trips(snap.to_json(), *h);
+}
+
+TEST(HistogramJsonExport, RoundTripsUnderCommaDecimalLocale) {
+  // The regression this guards: a comma-decimal LC_NUMERIC used to leak
+  // into the exported numbers. Skip only when the container genuinely has
+  // no such locale installed.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* comma = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (comma == nullptr) comma = std::setlocale(LC_NUMERIC, "fr_FR.UTF-8");
+  if (comma == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  Registry registry;
+  awkward_histogram_registry(registry);
+  const auto snap = registry.snapshot();
+  const HistogramSample* h = snap.histogram("rt.lat");
+  ASSERT_NE(h, nullptr);
+  // Render the JSON while the comma-decimal locale is active, restore the
+  // locale, then verify the rendered bytes still round-trip exactly.
+  const std::string json = snap.to_json();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  expect_histogram_json_round_trips(json, *h);
 }
 
 }  // namespace

@@ -17,6 +17,8 @@
 #include "core/rac_agent.hpp"
 #include "core/runner.hpp"
 #include "env/analytic_env.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rac::core {
@@ -83,6 +85,37 @@ TEST(ParallelDeterminism, BuildLibraryBitIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(exactly_equal(serial.at(i), parallel.at(i))) << "context " << i;
     EXPECT_EQ(serial.at(i).context, contexts[i]);
   }
+}
+
+TEST(ParallelDeterminism, ProfilerTreeStructureIsThreadCountInvariant) {
+  // The anchor-propagation contract end to end: profiling the same library
+  // build serially and on a 4-thread pool must merge to byte-identical
+  // structure signatures (names, hierarchy, call counts) -- only timings
+  // may differ. Uses the default profiler because that is what the
+  // instrumentation inside build_library records into.
+  const std::vector<SystemContext> contexts = {env::table2_context(1),
+                                               env::table2_context(2)};
+  const auto make = [](const SystemContext& ctx) {
+    return std::make_unique<AnalyticEnv>(ctx, noisy_env(7));
+  };
+  obs::set_profiling(true);
+  obs::Profiler& profiler = obs::Profiler::default_profiler();
+
+  const auto signature_of_build = [&](util::ThreadPool& pool) {
+    profiler.reset();
+    build_library(contexts, make, fast_options(&pool));
+    return obs::structure_signature(profiler.snapshot());
+  };
+
+  util::ThreadPool one(1);
+  util::ThreadPool four(4);
+  const std::string serial = signature_of_build(one);
+  const std::string parallel = signature_of_build(four);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the signature actually contains the instrumented phases.
+  EXPECT_NE(serial.find("core.build_library"), std::string::npos);
+  EXPECT_NE(serial.find("policy_init.coarse_sample"), std::string::npos);
+  profiler.reset();
 }
 
 TEST(ParallelDeterminism, ParallelAgentRunsMatchSerial) {

@@ -206,6 +206,14 @@ const std::vector<LineRule>& line_rules() {
         {"src/core/"},
         {}});
     r.push_back(LineRule{
+        "untracked-timer",
+        std::regex(R"(\b(steady_clock|high_resolution_clock)\s*::\s*now\s*\()"),
+        "raw clock read in library code; time phases with obs::ProfileScope "
+        "or obs::ScopedTimer so the work shows up in bench reports, or "
+        "justify with a suppression",
+        {"src/"},
+        {"src/obs/"}});
+    r.push_back(LineRule{
         "float-eq",
         std::regex(std::string(R"((==|!=)\s*[-+]?)") + kFloatLit + "|" +
                    kFloatLit + R"(\s*(==|!=))"),
@@ -260,6 +268,8 @@ const std::vector<RuleInfo>& rules() {
       {"pragma-once", "headers must open with #pragma once"},
       {"include-hygiene", "no path-traversing quoted includes"},
       {"locale-io", "locale-sensitive numeric I/O; use util/lineio"},
+      {"untracked-timer",
+       "raw steady/high_resolution clock reads in src/ outside obs/"},
       {"float-eq", "exact float comparison against a literal"},
       {"unchecked-measure",
        "raw measure() in src/core/; use try_measure or suppress"},
