@@ -28,7 +28,11 @@ Gating rules (check):
     (noise robustness); phases absent from either side are skipped, so a
     warm library cache never trips the gate;
   * total wall_ms is recorded but not gated (too noisy across hosts and
-    cache states);
+    cache states) -- EXCEPT where the baseline entry carries a
+    `speedup_floor` claim: `append --claim-speedup BENCH:RATIO` records
+    the previous baseline's wall as the reference, and `check` then fails
+    if the bench's current wall ever drops below RATIO x faster than that
+    reference (re-runs taking the minimum, same noise policy as phases);
   * wall gates are skipped entirely when the host fingerprint (nproc,
     build type, compiler) differs from the baseline's.
 """
@@ -175,11 +179,72 @@ def load_trajectory(path):
     return trajectory
 
 
-def append(reports_dir, trajectory_path, label):
+def parse_speedup_claims(claims):
+    """['bench:2.0', ...] -> {bench: ratio}; exits on malformed input."""
+    parsed = {}
+    for claim in claims or []:
+        bench, sep, ratio = claim.partition(":")
+        if not sep or bench not in SUITE:
+            raise SystemExit(
+                f"bench_trajectory: bad --claim-speedup {claim!r} "
+                f"(want BENCH:RATIO with BENCH in {SUITE})"
+            )
+        try:
+            parsed[bench] = float(ratio)
+        except ValueError:
+            raise SystemExit(
+                f"bench_trajectory: bad ratio in --claim-speedup {claim!r}"
+            )
+        if parsed[bench] <= 1.0:
+            raise SystemExit(
+                f"bench_trajectory: --claim-speedup ratio must be > 1 "
+                f"({claim!r})"
+            )
+    return parsed
+
+
+def append(reports_dir, trajectory_path, label, claims=None):
     entry = collect(reports_dir)
     if label:
         entry["label"] = label
     trajectory = load_trajectory(trajectory_path)
+    claims = parse_speedup_claims(claims)
+    if claims:
+        reference = find_baseline(trajectory, entry.get("quick"))
+        if reference is None:
+            raise SystemExit(
+                "bench_trajectory: --claim-speedup needs a prior entry in "
+                "the same mode to measure against"
+            )
+        floors = {}
+        for bench, ratio in claims.items():
+            ref_wall = (
+                reference.get("benches", {}).get(bench, {}).get("wall_ms")
+            )
+            cur_wall = entry["benches"].get(bench, {}).get("wall_ms")
+            if ref_wall is None or cur_wall is None:
+                raise SystemExit(
+                    f"bench_trajectory: --claim-speedup {bench}: wall_ms "
+                    "missing from the reference or current entry"
+                )
+            achieved = ref_wall / cur_wall
+            if achieved < ratio:
+                raise SystemExit(
+                    f"bench_trajectory: --claim-speedup {bench}: measured "
+                    f"{achieved:.2f}x, below the claimed {ratio:.2f}x -- "
+                    "refusing to record an unmet claim"
+                )
+            floors[bench] = {
+                "min_ratio": ratio,
+                "reference_wall_ms": ref_wall,
+                "reference_git_sha": reference.get("git_sha", "unknown"),
+            }
+            log(
+                f"speedup claim {bench}: {achieved:.2f}x measured vs "
+                f"{ratio:.2f}x floor (reference "
+                f"{floors[bench]['reference_git_sha'][:12]})"
+            )
+        entry["speedup_floor"] = floors
     trajectory["entries"].append(entry)
     tmp = trajectory_path + ".tmp"
     with open(tmp, "w") as out:
@@ -325,6 +390,41 @@ def check(build_dir, trajectory_path, quick, keep_reports):
                 f"{base_us / 1000.0:.1f} ms -> {cur_us / 1000.0:.1f} ms "
                 f"(gate +{(PHASE_GATE_RATIO - 1.0) * 100.0:.0f}%)"
             )
+
+        floor = (baseline.get("speedup_floor") or {}).get(bench)
+        if floor:
+            ref_wall = floor["reference_wall_ms"]
+            ratio = floor["min_ratio"]
+            budget = ref_wall / ratio
+            cur_wall = cur_record.get("wall_ms")
+            reruns = 0
+            while (
+                cur_wall is None or cur_wall > budget
+            ) and reruns < MAX_RERUNS:
+                reruns += 1
+                log(
+                    f"{bench}: wall {cur_wall} ms over the "
+                    f"{ratio:.2f}x speedup floor ({budget:.1f} ms); "
+                    f"re-run {reruns}/{MAX_RERUNS} to rule out noise"
+                )
+                run_bench(build_dir, bench, tmp_dir, quick)
+                rerun_wall = (
+                    collect(tmp_dir)["benches"][bench].get("wall_ms")
+                )
+                if rerun_wall is not None:
+                    cur_wall = (
+                        rerun_wall
+                        if cur_wall is None
+                        else min(cur_wall, rerun_wall)
+                    )
+            if cur_wall is None or cur_wall > budget:
+                failures.append(
+                    f"{bench}: speedup claim regressed -- wall "
+                    f"{cur_wall} ms exceeds {budget:.1f} ms "
+                    f"(claimed >= {ratio:.2f}x vs reference "
+                    f"{ref_wall:.1f} ms @ "
+                    f"{floor.get('reference_git_sha', '?')[:12]})"
+                )
         log(f"{bench}: OK (digest {cur_digest}, exit {cur_code})")
 
     if failures:
@@ -359,6 +459,11 @@ def main():
     p_append.add_argument("--reports", required=True)
     p_append.add_argument("--trajectory", required=True)
     p_append.add_argument("--label", default="")
+    p_append.add_argument(
+        "--claim-speedup", action="append", metavar="BENCH:RATIO",
+        help="record a wall-clock speedup floor vs the previous entry in "
+        "the same mode; `check` fails if the bench later falls below it",
+    )
 
     p_report = sub.add_parser("report", help="render the trajectory")
     p_report.add_argument("--trajectory", required=True)
@@ -381,7 +486,7 @@ def main():
         print(json.dumps(collect(args.reports), indent=1))
         return 0
     if args.command == "append":
-        append(args.reports, args.trajectory, args.label)
+        append(args.reports, args.trajectory, args.label, args.claim_speedup)
         return 0
     if args.command == "report":
         report(args.trajectory, args.last)

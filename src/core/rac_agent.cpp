@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -140,13 +141,15 @@ void RacAgent::retrain() {
   // fresh observation propagates through the Q-table (Section 4.2). Sweep
   // in canonical (sorted) state order: the result must not depend on how
   // the experience store happens to iterate, or a restored agent could
-  // diverge from the run it resumed.
-  std::vector<config::Configuration> states = experience_.configurations();
-  if (states.empty()) states.push_back(current_);
-  std::sort(states.begin(), states.end(),
-            [](const config::Configuration& a, const config::Configuration& b) {
-              return a.values() < b.values();
-            });
+  // diverge from the run it resumed. The store maintains that order
+  // incrementally, so the sweep borrows its list instead of re-sorting.
+  std::span<const config::Configuration> states =
+      experience_.sorted_configurations();
+  std::vector<config::Configuration> fallback;
+  if (states.empty()) {
+    fallback.push_back(current_);
+    states = fallback;
+  }
   const rl::RewardFn reward = [this](const config::Configuration& c) {
     return reward_of(lookup_response(c));
   };

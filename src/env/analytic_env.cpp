@@ -54,7 +54,16 @@ double swap_factor(const tiersim::SystemParams& P, double used_mb,
 
 AnalyticEnv::AnalyticEnv(const SystemContext& context,
                          const AnalyticEnvOptions& options)
-    : ctx_(context), opt_(options), rng_(options.seed) {}
+    : ctx_(context), opt_(options), rng_(options.seed) {
+  // Station structure is fixed for the life of the model; evaluate() swaps
+  // rate tables in place each fixed-point iteration. The placeholder rate
+  // tables are never solved against.
+  subnet_.set_registry(opt_.registry);
+  outer_.set_registry(opt_.registry);
+  subnet_.add_station(queueing::Station{"web-vm", 1.0, {1.0}});
+  subnet_.add_station(queueing::Station{"appdb-vm", 1.0, {1.0}});
+  outer_.add_station(queueing::Station{"website", 1.0, {1.0}});
+}
 
 std::unique_ptr<Environment> AnalyticEnv::clone_with_seed(
     std::uint64_t seed) const {
@@ -200,48 +209,40 @@ PerfSample AnalyticEnv::evaluate(const Configuration& cfg,
     // Inner subnetwork: the two VMs serving an admitted request. A web
     // worker is held for the *whole* request (Apache prefork proxies the
     // app tier synchronously), so MaxClients caps the total in-flight
-    // count -- modeled below via flow-equivalent aggregation.
-    queueing::ClosedNetwork subnet(0.0);
-    subnet.set_registry(opt_.registry);
+    // count -- modeled below via flow-equivalent aggregation. The networks
+    // persist across iterations and evaluations; only the rate tables are
+    // swapped (which resets their recursion caches but keeps the storage).
     {
-      queueing::Station web_station;
-      web_station.name = "web-vm";
-      web_station.rates.reserve(static_cast<std::size_t>(N));
+      std::vector<double> web_rates;
+      web_rates.reserve(static_cast<std::size_t>(N));
       for (int j = 1; j <= N; ++j) {
         const double slowdown = (1.0 + P.web_concurrency_ovh * j) * web_swap;
-        web_station.rates.push_back(std::min(j, web_vm.vcpus) /
-                                    (d_web_s * slowdown));
+        web_rates.push_back(std::min(j, web_vm.vcpus) /
+                            (d_web_s * slowdown));
       }
-      subnet.add_station(std::move(web_station));
+      subnet_.set_station_rates(0, std::move(web_rates));
     }
     {
-      queueing::Station app_station;
-      app_station.name = "appdb-vm";
-      app_station.rates.reserve(static_cast<std::size_t>(N));
+      std::vector<double> app_rates;
+      app_rates.reserve(static_cast<std::size_t>(N));
       for (int j = 1; j <= N; ++j) {
         const int served = std::min(j, max_threads);  // MaxThreads cap
         const double slowdown =
             (1.0 + P.app_concurrency_ovh * served) * app_swap;
-        app_station.rates.push_back(std::min(served, app_vm.vcpus) /
-                                    (d_appdb_s * slowdown));
+        app_rates.push_back(std::min(served, app_vm.vcpus) /
+                            (d_appdb_s * slowdown));
       }
-      subnet.add_station(std::move(app_station));
+      subnet_.set_station_rates(1, std::move(app_rates));
     }
-    const std::vector<double> x_sub = subnet.throughput_curve(N);
+    std::vector<double> x_sub = subnet_.throughput_curve(N);
 
     // Outer model: think delay + the flow-equivalent station. The
     // MaxClients admission constraint is handled separately below (slot
     // shortage / burst terms) because keep-alive reuse lets most of the
     // flow bypass the accept queue.
-    queueing::ClosedNetwork outer(Z);
-    outer.set_registry(opt_.registry);
-    {
-      queueing::Station fesc;
-      fesc.name = "website";
-      fesc.rates = x_sub;
-      outer.add_station(std::move(fesc));
-    }
-    const auto mva = outer.solve(N);
+    outer_.set_think_time(Z);
+    outer_.set_station_rates(0, std::move(x_sub));
+    const auto mva = outer_.solve(N);
     // Slot shortage: by Little's law the browsers occupy X * (hold + R)
     // worker slots (parked plus in-service). If MaxClients provides fewer,
     // new connections wait for the pool to turn over; the wait scales with

@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "env/environment.hpp"
+#include "queueing/mva.hpp"
 #include "tiersim/system_params.hpp"
 #include "util/rng.hpp"
 
@@ -85,8 +86,9 @@ class AnalyticEnv : public Environment {
   void set_context(const SystemContext& context) override { ctx_ = context; }
   SystemContext context() const override { return ctx_; }
 
-  /// The model is pure apart from its noise Rng, so independent clones are
-  /// safe to measure concurrently (one clone per pool task).
+  /// The model is pure apart from its noise Rng and reusable MVA scratch
+  /// networks, so independent clones are safe to measure concurrently (one
+  /// clone per pool task -- which is how the pool already shards work).
   bool thread_safe() const override { return true; }
   std::unique_ptr<Environment> clone_with_seed(
       std::uint64_t seed) const override;
@@ -101,6 +103,13 @@ class AnalyticEnv : public Environment {
   SystemContext ctx_;
   AnalyticEnvOptions opt_;
   util::Rng rng_;
+  // Persistent MVA networks for the fixed-point loop: stations are added
+  // once and each iteration swaps in fresh rate tables via
+  // set_station_rates, reusing the networks' internal table storage
+  // instead of rebuilding three networks per iteration. Mutable because
+  // evaluate() is const (the model result does not depend on this state).
+  mutable queueing::ClosedNetwork subnet_{0.0};
+  mutable queueing::ClosedNetwork outer_{0.0};
 };
 
 }  // namespace rac::env

@@ -129,7 +129,30 @@ void fill_host_metadata(BenchReport& report) {
       gethostname(buf, sizeof(buf) - 1) == 0 ? buf : "unknown";
   report.nproc = std::thread::hardware_concurrency();
   report.build_type = RAC_BUILD_TYPE;
-  report.compiler = RAC_COMPILER_ID;
+  // An instrumented binary is a different "host" for wall-clock purposes:
+  // tagging the fingerprint makes the trajectory gate skip its wall gates
+  // (digest and exit-code checks still run) instead of failing on
+  // sanitizer or audit slowdown measured against an uninstrumented
+  // baseline.
+#if defined(__SANITIZE_ADDRESS__)
+#define RAC_HOST_ASAN 1
+#elif defined(__SANITIZE_THREAD__)
+#define RAC_HOST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RAC_HOST_ASAN 1
+#elif __has_feature(thread_sanitizer)
+#define RAC_HOST_TSAN 1
+#endif
+#endif
+#if defined(RAC_HOST_ASAN)
+  report.build_type += "+asan";
+#elif defined(RAC_HOST_TSAN)
+  report.build_type += "+tsan";
+#endif
+#if defined(RAC_AUDIT_ENABLED)
+  report.build_type += "+audit";
+#endif
   report.process = process_stats();
 }
 

@@ -2,13 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "util/contracts.hpp"
 
 namespace rac::queueing {
+
+namespace {
+
+void validate_station_rates(const std::vector<double>& rates) {
+  if (rates.empty()) {
+    throw std::invalid_argument("ClosedNetwork: station has no rates");
+  }
+  for (double r : rates) {
+    if (r <= 0.0) {
+      throw std::invalid_argument("ClosedNetwork: non-positive service rate");
+    }
+  }
+}
+
+}  // namespace
 
 Station make_queueing_station(std::string name, double service_rate,
                               double visit_ratio) {
@@ -41,23 +61,190 @@ void ClosedNetwork::set_think_time(double think_time) {
   if (think_time < 0.0) {
     throw std::invalid_argument("ClosedNetwork: negative think time");
   }
+  if (think_time == think_time_) return;  // rac-lint: allow(float-eq)
   think_time_ = think_time;
+  invalidate();
 }
 
 std::size_t ClosedNetwork::add_station(Station station) {
-  if (station.rates.empty()) {
-    throw std::invalid_argument("ClosedNetwork: station has no rates");
-  }
-  for (double r : station.rates) {
-    if (r <= 0.0) {
-      throw std::invalid_argument("ClosedNetwork: non-positive service rate");
-    }
-  }
+  validate_station_rates(station.rates);
   if (station.visit_ratio <= 0.0) {
     throw std::invalid_argument("ClosedNetwork: non-positive visit ratio");
   }
   stations_.push_back(std::move(station));
+  invalidate();
   return stations_.size() - 1;
+}
+
+void ClosedNetwork::set_station_rates(std::size_t index,
+                                      std::vector<double> rates) {
+  if (index >= stations_.size()) {
+    throw std::invalid_argument("set_station_rates: no such station");
+  }
+  validate_station_rates(rates);
+  if (rates == stations_[index].rates) return;  // identical table: keep cache
+  stations_[index].rates = std::move(rates);
+  invalidate();
+}
+
+std::uint64_t ClosedNetwork::extend(int population) const {
+  Cache& c = cache_;
+  if (population <= c.solved) return 0;
+  const std::size_t num_s = stations_.size();
+
+  // Build (cold) or grow the per-station tables. The implicit last-value
+  // extension of each rate table is applied here, once, so the inner loops
+  // index flat arrays. Growing preserves the recursion state: marginal
+  // probabilities beyond the solved population are exactly zero.
+  if (c.per_station.size() != num_s) c.per_station.resize(num_s);
+  if (c.capacity < population) {
+    for (std::size_t s = 0; s < num_s; ++s) {
+      StationCache& sc = c.per_station[s];
+      const std::vector<double>& rates = stations_[s].rates;
+      sc.rate.resize(static_cast<std::size_t>(population));
+      sc.jr.resize(static_cast<std::size_t>(population));
+      for (int j = c.capacity + 1; j <= population; ++j) {
+        const std::size_t idx = std::min<std::size_t>(
+            static_cast<std::size_t>(j) - 1, rates.size() - 1);
+        sc.rate[static_cast<std::size_t>(j) - 1] = rates[idx];
+        sc.jr[static_cast<std::size_t>(j) - 1] =
+            static_cast<double>(j) / rates[idx];
+      }
+      sc.marginal.resize(static_cast<std::size_t>(population) + 1, 0.0);
+      if (c.solved == 0) sc.marginal[0] = 1.0;
+    }
+    c.capacity = population;
+  }
+  const std::size_t pop = static_cast<std::size_t>(population);
+  c.throughput.reserve(pop);
+  c.response.reserve(pop);
+  c.residence.reserve(pop * num_s);
+  c.marginal0.reserve(pop * num_s);
+  c.residence_scratch.resize(num_s);
+
+  for (int n = c.solved + 1; n <= population; ++n) {
+    // Residence times at population n from the marginals at n-1. jr[j-1]
+    // is the precomputed j / mu(j) term, so each station's loop is a plain
+    // dot product with the same summation order (and bit pattern) as the
+    // textbook form. Stations are processed in pairs with independent
+    // accumulator chains: the serial FP-add latency of one station's sum
+    // hides the other's, roughly doubling throughput on two-station
+    // networks, while each per-station sum keeps its exact order.
+    double response = 0.0;
+    std::size_t s = 0;
+    for (; s + 1 < num_s; s += 2) {
+      const StationCache& sc0 = c.per_station[s];
+      const StationCache& sc1 = c.per_station[s + 1];
+      const double* jr0 = sc0.jr.data();
+      const double* m0 = sc0.marginal.data();
+      const double* jr1 = sc1.jr.data();
+      const double* m1 = sc1.marginal.data();
+      double r0 = 0.0;
+      double r1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        r0 += jr0[j] * m0[j];
+        r1 += jr1[j] * m1[j];
+      }
+      const double res0 = stations_[s].visit_ratio * r0;
+      const double res1 = stations_[s + 1].visit_ratio * r1;
+      c.residence_scratch[s] = res0;
+      c.residence_scratch[s + 1] = res1;
+      response += res0;
+      response += res1;
+    }
+    if (s < num_s) {
+      const StationCache& sc = c.per_station[s];
+      const double* jr = sc.jr.data();
+      const double* m = sc.marginal.data();
+      double r = 0.0;
+      for (int j = 0; j < n; ++j) r += jr[j] * m[j];
+      const double res = stations_[s].visit_ratio * r;
+      c.residence_scratch[s] = res;
+      response += res;
+    }
+    const double throughput =
+        static_cast<double>(n) / (think_time_ + response);
+
+    // Update marginal probabilities for population n (in place, from high j
+    // to low so that m[j-1] still refers to population n-1). The division
+    // stays per step: tv / rate * m matches the original evaluation order
+    // bit for bit, a hoisted reciprocal would not. Same pairwise
+    // interleaving as above; the per-station divide/add chains stay
+    // independent and bit-exact.
+    s = 0;
+    for (; s + 1 < num_s; s += 2) {
+      StationCache& sc0 = c.per_station[s];
+      StationCache& sc1 = c.per_station[s + 1];
+      const double* rate0 = sc0.rate.data();
+      const double* rate1 = sc1.rate.data();
+      double* m0 = sc0.marginal.data();
+      double* m1 = sc1.marginal.data();
+      const double tv0 = throughput * stations_[s].visit_ratio;
+      const double tv1 = throughput * stations_[s + 1].visit_ratio;
+      double tail0 = 0.0;
+      double tail1 = 0.0;
+#if defined(__SSE2__)
+      // Pack the pair's divisions into one divpd: IEEE division and
+      // multiplication are exact per lane, so each lane reproduces the
+      // scalar tv / rate * m bit pattern while the divider unit retires
+      // two stations' steps per issue. (Intrinsics also pin the mul+add
+      // sequence: no FMA contraction can creep in and change bits.)
+      {
+        const __m128d tv_v = _mm_set_pd(tv1, tv0);
+        __m128d tail_v = _mm_setzero_pd();
+        for (int j = n; j >= 1; --j) {
+          const __m128d rate_v = _mm_set_pd(rate1[j - 1], rate0[j - 1]);
+          const __m128d m_v = _mm_set_pd(m1[j - 1], m0[j - 1]);
+          const __m128d p = _mm_mul_pd(_mm_div_pd(tv_v, rate_v), m_v);
+          _mm_storel_pd(&m0[static_cast<std::size_t>(j)], p);
+          _mm_storeh_pd(&m1[static_cast<std::size_t>(j)], p);
+          tail_v = _mm_add_pd(tail_v, p);
+        }
+        _mm_storel_pd(&tail0, tail_v);
+        _mm_storeh_pd(&tail1, tail_v);
+      }
+#else
+      for (int j = n; j >= 1; --j) {
+        const double p0 = tv0 / rate0[j - 1] * m0[j - 1];
+        const double p1 = tv1 / rate1[j - 1] * m1[j - 1];
+        m0[static_cast<std::size_t>(j)] = p0;
+        m1[static_cast<std::size_t>(j)] = p1;
+        tail0 += p0;
+        tail1 += p1;
+      }
+#endif
+      m0[0] = std::max(0.0, 1.0 - tail0);
+      m1[0] = std::max(0.0, 1.0 - tail1);
+    }
+    if (s < num_s) {
+      StationCache& sc = c.per_station[s];
+      const double* rate = sc.rate.data();
+      double* m = sc.marginal.data();
+      const double tv = throughput * stations_[s].visit_ratio;
+      double tail = 0.0;
+      for (int j = n; j >= 1; --j) {
+        const double p = tv / rate[j - 1] * m[j - 1];
+        m[static_cast<std::size_t>(j)] = p;
+        tail += p;
+      }
+      m[0] = std::max(0.0, 1.0 - tail);
+    }
+
+    c.throughput.push_back(throughput);
+    c.response.push_back(response);
+    for (std::size_t s = 0; s < num_s; ++s) {
+      c.residence.push_back(c.residence_scratch[s]);
+      c.marginal0.push_back(c.per_station[s].marginal[0]);
+    }
+  }
+
+  const auto from = static_cast<std::uint64_t>(c.solved);
+  const auto to = static_cast<std::uint64_t>(population);
+  c.solved = population;
+  // Inner-loop iterations each station actually executed: the residence
+  // and the marginal-update loop both run n steps per newly solved n, so
+  // 2 * sum_{n=from+1}^{to} n.
+  return to * (to + 1) - from * (from + 1);
 }
 
 MvaResult ClosedNetwork::solve(int population) const {
@@ -70,13 +257,11 @@ MvaResult ClosedNetwork::solve(int population) const {
   }
 
   // The MVA recursion is the analytic model's inner loop; count solves and
-  // population-recursion steps so perf work can show where the time goes.
-  // One registry lookup per solve (the recursion itself is O(N^2 * S)).
+  // *executed* recursion steps (a resumed or fully cached solve reruns
+  // nothing) so perf work can cross-check the profiler against real work.
   const obs::ProfileScope profile("mva.solve");
   obs::Registry& reg = obs::registry_or_default(registry_);
   reg.counter("queueing.mva.solves").add(1);
-  reg.counter("queueing.mva.recursion_steps")
-      .add(static_cast<std::uint64_t>(population));
 
   const std::size_t num_s = stations_.size();
   MvaResult result;
@@ -86,59 +271,33 @@ MvaResult ClosedNetwork::solve(int population) const {
   for (std::size_t s = 0; s < num_s; ++s) {
     result.stations[s].name = stations_[s].name;
   }
-  if (population == 0) return result;
 
-  auto rate_at = [&](std::size_t s, int j) -> double {
-    const auto& rates = stations_[s].rates;
-    const auto idx =
-        std::min<std::size_t>(static_cast<std::size_t>(j) - 1, rates.size() - 1);
-    return rates[idx];
-  };
-
-  // marginal[s][j] = P(j jobs at station s | population n), updated per n.
-  std::vector<std::vector<double>> marginal(
-      num_s, std::vector<double>(static_cast<std::size_t>(population) + 1, 0.0));
-  for (auto& m : marginal) m[0] = 1.0;
-
-  std::vector<double> residence(num_s, 0.0);
-  double throughput = 0.0;
-  double response = 0.0;
-
-  for (int n = 1; n <= population; ++n) {
-    response = 0.0;
-    for (std::size_t s = 0; s < num_s; ++s) {
-      double r = 0.0;
-      for (int j = 1; j <= n; ++j) {
-        r += static_cast<double>(j) / rate_at(s, j) *
-             marginal[s][static_cast<std::size_t>(j - 1)];
+  if (population > 0) {
+    if (population > cache_.solved) {
+      const std::uint64_t per_station = extend(population);
+      reg.counter("queueing.mva.recursion_steps")
+          .add(per_station * static_cast<std::uint64_t>(num_s));
+      for (std::size_t s = 0; s < num_s; ++s) {
+        reg.counter("queueing.mva.station_steps." + stations_[s].name)
+            .add(per_station);
       }
-      residence[s] = stations_[s].visit_ratio * r;
-      response += residence[s];
+    } else {
+      reg.counter("queueing.mva.cache_hits").add(1);
     }
-    throughput = static_cast<double>(n) / (think_time_ + response);
-
-    // Update marginal probabilities for population n (in place, from high j
-    // to low so that marginal[s][j-1] still refers to population n-1).
+    const std::size_t at = static_cast<std::size_t>(population) - 1;
+    result.throughput = cache_.throughput[at];
+    result.response_time = cache_.response[at];
+    const std::size_t base = at * num_s;
     for (std::size_t s = 0; s < num_s; ++s) {
-      double tail = 0.0;
-      for (int j = n; j >= 1; --j) {
-        const double p = throughput * stations_[s].visit_ratio / rate_at(s, j) *
-                         marginal[s][static_cast<std::size_t>(j - 1)];
-        marginal[s][static_cast<std::size_t>(j)] = p;
-        tail += p;
-      }
-      marginal[s][0] = std::max(0.0, 1.0 - tail);
+      StationResult& sr = result.stations[s];
+      sr.residence_time = cache_.residence[base + s];
+      sr.queue_length = result.throughput * sr.residence_time;
+      sr.utilization = 1.0 - cache_.marginal0[base + s];
     }
   }
-
-  result.throughput = throughput;
-  result.response_time = response;
-  for (std::size_t s = 0; s < num_s; ++s) {
-    auto& sr = result.stations[s];
-    sr.residence_time = residence[s];
-    sr.queue_length = throughput * residence[s];
-    sr.utilization = 1.0 - marginal[s][0];
-  }
+  // Population 0 keeps the zero-initialized result: an empty system has
+  // zero throughput, zero response time, and idle stations. It flows
+  // through the same audit below instead of skipping it.
   if constexpr (util::kAuditEnabled) {
     RAC_AUDIT(std::isfinite(result.throughput) && result.throughput >= 0.0,
               "MVA solve: non-finite or negative throughput");
@@ -165,46 +324,21 @@ std::vector<double> ClosedNetwork::throughput_curve(int max_population) const {
   const obs::ProfileScope profile("mva.throughput_curve");
   obs::Registry& reg = obs::registry_or_default(registry_);
   reg.counter("queueing.mva.throughput_curves").add(1);
-  reg.counter("queueing.mva.recursion_steps")
-      .add(static_cast<std::uint64_t>(max_population));
   const std::size_t num_s = stations_.size();
-  auto rate_at = [&](std::size_t s, int j) -> double {
-    const auto& rates = stations_[s].rates;
-    const auto idx =
-        std::min<std::size_t>(static_cast<std::size_t>(j) - 1, rates.size() - 1);
-    return rates[idx];
-  };
-
-  std::vector<std::vector<double>> marginal(
-      num_s,
-      std::vector<double>(static_cast<std::size_t>(max_population) + 1, 0.0));
-  for (auto& m : marginal) m[0] = 1.0;
-
-  std::vector<double> curve;
-  curve.reserve(static_cast<std::size_t>(max_population));
-  for (int n = 1; n <= max_population; ++n) {
-    double response = 0.0;
+  if (max_population > cache_.solved) {
+    const std::uint64_t per_station = extend(max_population);
+    reg.counter("queueing.mva.recursion_steps")
+        .add(per_station * static_cast<std::uint64_t>(num_s));
     for (std::size_t s = 0; s < num_s; ++s) {
-      double r = 0.0;
-      for (int j = 1; j <= n; ++j) {
-        r += static_cast<double>(j) / rate_at(s, j) *
-             marginal[s][static_cast<std::size_t>(j - 1)];
-      }
-      response += stations_[s].visit_ratio * r;
+      reg.counter("queueing.mva.station_steps." + stations_[s].name)
+          .add(per_station);
     }
-    const double throughput = static_cast<double>(n) / (think_time_ + response);
-    curve.push_back(throughput);
-    for (std::size_t s = 0; s < num_s; ++s) {
-      double tail = 0.0;
-      for (int j = n; j >= 1; --j) {
-        const double p = throughput * stations_[s].visit_ratio / rate_at(s, j) *
-                         marginal[s][static_cast<std::size_t>(j - 1)];
-        marginal[s][static_cast<std::size_t>(j)] = p;
-        tail += p;
-      }
-      marginal[s][0] = std::max(0.0, 1.0 - tail);
-    }
+  } else {
+    reg.counter("queueing.mva.cache_hits").add(1);
   }
+  std::vector<double> curve(
+      cache_.throughput.begin(),
+      cache_.throughput.begin() + static_cast<std::size_t>(max_population));
   if constexpr (util::kAuditEnabled) {
     // X(n) is non-decreasing in n only when every station's service rate
     // is non-decreasing in its local population. The web-system model

@@ -9,13 +9,16 @@
 // that `configurations()`/`entries()` is a deterministic function of the
 // recording history. Retraining iterates that list, so a checkpoint-restored
 // store must replay it in the same order to continue bit-identically --
-// hash-map iteration order would not survive a round trip.
+// hash-map iteration order would not survive a round trip. Lookups go
+// through a flat open-addressing probe table (hash(config) -> entry index),
+// and a canonically sorted copy of the configurations is maintained on
+// insert so the per-retrain sort is amortized away.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "config/configuration.hpp"
@@ -57,6 +60,14 @@ class ExperienceStore {
   /// Visited configurations in first-observation order.
   std::vector<config::Configuration> configurations() const;
 
+  /// Visited configurations in canonical order (ascending parameter
+  /// values), maintained incrementally on insert. Identical to sorting
+  /// `configurations()` with values() < values(); the retrain sweep
+  /// iterates this directly. Invalidated by record/restore/clear.
+  std::span<const config::Configuration> sorted_configurations() const noexcept {
+    return sorted_;
+  }
+
   /// Full entries in first-observation order (for serialization).
   std::span<const ExperienceEntry> entries() const noexcept { return entries_; }
 
@@ -66,11 +77,20 @@ class ExperienceStore {
   void restore(std::vector<ExperienceEntry> entries);
 
  private:
+  /// Probe slot for `configuration`: either empty (0) or holding
+  /// entry index + 1. Requires a non-empty slot table.
+  std::size_t probe(const config::Configuration& configuration) const;
+  /// Index of the entry for `configuration`, or npos when absent.
+  std::size_t find_index(const config::Configuration& configuration) const;
+  void grow_slots();
+  void insert_sorted(const config::Configuration& configuration);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   double blend_;
   std::vector<ExperienceEntry> entries_;
-  std::unordered_map<config::Configuration, std::size_t,
-                     config::ConfigurationHash>
-      index_;
+  std::vector<std::uint32_t> slots_;
+  std::vector<config::Configuration> sorted_;
 };
 
 }  // namespace rac::rl

@@ -8,6 +8,17 @@
 
 namespace rac::tiersim {
 
+EventFn EventQueue::release(std::size_t index) {
+  Slot& slot = slots_[index];
+  EventFn fn = std::move(slot.fn);
+  slot.fn = nullptr;
+  slot.live = false;
+  ++slot.gen;  // wrap is fine: stale handles this old no longer exist
+  free_.push_back(static_cast<std::uint32_t>(index));
+  --pending_count_;
+  return fn;
+}
+
 EventHandle EventQueue::schedule_at(double at, EventFn fn) {
   if (at < now_) {
     throw std::invalid_argument("EventQueue::schedule_at: time in the past");
@@ -15,9 +26,19 @@ EventHandle EventQueue::schedule_at(double at, EventFn fn) {
   if (!fn) {
     throw std::invalid_argument("EventQueue::schedule_at: empty callback");
   }
-  const std::uint64_t id = next_id_++;
+  std::size_t index;
+  if (free_.empty()) {
+    index = slots_.size();
+    slots_.emplace_back();
+  } else {
+    index = free_.back();
+    free_.pop_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  const std::uint64_t id = encode(slot.gen, static_cast<std::uint32_t>(index));
   heap_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
   ++pending_count_;
   return EventHandle{id};
 }
@@ -30,11 +51,9 @@ EventHandle EventQueue::schedule_in(double delay, EventFn fn) {
 }
 
 bool EventQueue::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  const auto it = callbacks_.find(handle.id_);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --pending_count_;
+  const std::size_t index = live_slot(handle.id_);
+  if (index == npos) return false;
+  release(index);  // discard the callback; the heap entry goes stale
   return true;
 }
 
@@ -42,11 +61,9 @@ bool EventQueue::step() {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
     heap_.pop();
-    const auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // cancelled tombstone
-    EventFn fn = std::move(it->second);
-    callbacks_.erase(it);
-    --pending_count_;
+    const std::size_t index = live_slot(top.id);
+    if (index == npos) continue;  // cancelled tombstone
+    EventFn fn = release(index);
     RAC_INVARIANT(top.time >= now_, "EventQueue: virtual time went backwards");
     now_ = top.time;
     ++executed_;
@@ -64,7 +81,7 @@ std::uint64_t EventQueue::run_until(double until) {
   while (!heap_.empty()) {
     // Peek past tombstones for the next live event time.
     const Entry top = heap_.top();
-    if (callbacks_.find(top.id) == callbacks_.end()) {
+    if (live_slot(top.id) == npos) {
       heap_.pop();
       continue;
     }

@@ -4,12 +4,17 @@
 // Determinism: events at equal timestamps fire in scheduling order (a
 // monotonically increasing sequence number breaks ties), so a simulation is
 // a pure function of its inputs and RNG seed.
+//
+// Storage: callbacks live in a slot arena recycled through a free list --
+// scheduling an event is a vector push, not a hash-map node allocation.
+// Handles encode (slot generation, slot index); the generation bumps when
+// a slot fires or is cancelled, so stale handles and heap tombstones are
+// recognized with two loads and no lookup.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace rac::tiersim {
@@ -66,16 +71,43 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// One arena cell: the callback of the currently scheduled event (when
+  /// live) and the generation stamped into its handle. A heap entry or
+  /// user handle whose generation no longer matches is stale.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  static std::uint64_t encode(std::uint32_t gen, std::uint32_t index) noexcept {
+    return (static_cast<std::uint64_t>(gen) << 32) |
+           (static_cast<std::uint64_t>(index) + 1);
+  }
+  /// Slot index of a live event id, or npos for stale/invalid ids.
+  std::size_t live_slot(std::uint64_t id) const noexcept {
+    const std::uint64_t low = id & 0xffffffffULL;
+    if (low == 0) return npos;
+    const std::size_t index = static_cast<std::size_t>(low) - 1;
+    if (index >= slots_.size()) return npos;
+    const Slot& slot = slots_[index];
+    if (!slot.live || slot.gen != static_cast<std::uint32_t>(id >> 32)) {
+      return npos;
+    }
+    return index;
+  }
+  /// Take the callback out of a live slot and recycle it.
+  EventFn release(std::size_t index);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t pending_count_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // id -> callback; erased on fire/cancel. Tombstones in the heap are
-  // skipped when their id is no longer present.
-  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace rac::tiersim

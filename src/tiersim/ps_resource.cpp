@@ -37,7 +37,7 @@ void PsResource::advance() {
   const double elapsed = now - last_update_;
   if (elapsed > 0.0 && !jobs_.empty()) {
     const double progress = elapsed * current_rate_;
-    for (auto& [id, job] : jobs_) {
+    for (Job& job : jobs_) {
       job.remaining = std::max(0.0, job.remaining - progress);
     }
     work_done_ += progress * static_cast<double>(jobs_.size());
@@ -52,7 +52,7 @@ void PsResource::reschedule() {
   current_rate_ = per_job_rate();
   if (jobs_.empty() || current_rate_ <= 0.0) return;
   double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, job] : jobs_) {
+  for (const Job& job : jobs_) {
     min_remaining = std::min(min_remaining, job.remaining);
   }
   const double delay = min_remaining / current_rate_;
@@ -62,16 +62,15 @@ void PsResource::reschedule() {
 void PsResource::on_completion_timer() {
   completion_event_ = EventHandle{};
   advance();
-  // Collect everything that is (numerically) done.
+  // Collect everything that is (numerically) done, in submission order;
+  // the survivors keep their relative order (remove_if is stable).
   std::vector<EventFn> done;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->second.remaining <= kTimeEps) {
-      done.push_back(std::move(it->second.on_complete));
-      it = jobs_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  const auto it = std::remove_if(jobs_.begin(), jobs_.end(), [&](Job& job) {
+    if (job.remaining > kTimeEps) return false;
+    done.push_back(std::move(job.on_complete));
+    return true;
+  });
+  jobs_.erase(it, jobs_.end());
   reschedule();
   // Fire completions after internal state is consistent; a completion
   // handler may immediately submit new work to this resource.
@@ -85,7 +84,7 @@ JobId PsResource::submit(double demand, EventFn on_complete) {
   const JobId id = next_id_++;
   // Zero-demand jobs still take one trip through the event loop so that
   // callers observe uniform asynchronous behaviour.
-  jobs_.emplace(id, Job{std::max(demand, kTimeEps), std::move(on_complete)});
+  jobs_.push_back(Job{std::max(demand, kTimeEps), std::move(on_complete)});
   reschedule();
   return id;
 }

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "tiersim/event_queue.hpp"
@@ -64,7 +63,10 @@ class PsResource {
   EventQueue& queue_;
   int cores_;
   SlowdownFn slowdown_;
-  std::unordered_map<JobId, Job> jobs_;
+  // Active jobs in submission order (flat storage: the advance loop is a
+  // contiguous sweep, and completions fire oldest-submitted first, which
+  // is deterministic where hash-map iteration order was merely stable).
+  std::vector<Job> jobs_;
   JobId next_id_ = 1;
   double last_update_ = 0.0;
   double current_rate_ = 0.0;  // per-job progress rate

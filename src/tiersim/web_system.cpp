@@ -53,6 +53,11 @@ struct ThreeTierSystem::Impl {
     bool spawned_thread = false;
     bool counted_as_writer = false;
     bool new_session = false;
+    // Database demand computed by the app phase, parked here so the app
+    // completion lambda captures only [this, req] -- a third capture would
+    // push std::function past its small-buffer size and heap-allocate on
+    // every request.
+    double pending_db_ms = 0.0;
   };
 
   // ---- per-browser state ----------------------------------------------------
@@ -81,7 +86,8 @@ struct ThreeTierSystem::Impl {
       *req = Request{};
       return req;
     }
-    request_arena.push_back(std::make_unique<Request>());
+    request_arena.push_back(
+        std::make_unique<Request>());  // rac-lint: allow(hot-path-alloc) arena growth, amortized by the free list
     return request_arena.back().get();
   }
 
@@ -281,15 +287,15 @@ struct ThreeTierSystem::Impl {
 
     double demand_ms = req->spec->app_demand_ms * P.demand_scale_app;
     if (req->spawned_thread) demand_ms += P.thread_spawn_cost_ms;
-    const double db_ms = req->spec->db_demand_ms * P.demand_scale_db + extra_db_ms;
-    app_cpu.submit(demand_ms / kMsPerSecond,
-                   [this, req, db_ms] { start_db_phase(req, db_ms); });
+    req->pending_db_ms =
+        req->spec->db_demand_ms * P.demand_scale_db + extra_db_ms;
+    app_cpu.submit(demand_ms / kMsPerSecond, [this, req] { start_db_phase(req); });
   }
 
   // ---- db phase -----------------------------------------------------------------
 
-  void start_db_phase(Request* req, double db_ms) {
-    double demand_ms = db_ms * db_miss_mult;
+  void start_db_phase(Request* req) {
+    double demand_ms = req->pending_db_ms * db_miss_mult;
     if (req->spec->is_write) {
       // Lock contention: each additional concurrent writer stretches the
       // critical sections.
@@ -502,7 +508,8 @@ struct ThreeTierSystem::Impl {
 
 ThreeTierSystem::ThreeTierSystem(const SystemParams& params,
                                  const SimSetup& setup)
-    : impl_(std::make_unique<Impl>(params, setup)) {}
+    : impl_(std::make_unique<Impl>(  // rac-lint: allow(hot-path-alloc) one-time pimpl construction
+          params, setup)) {}
 
 ThreeTierSystem::~ThreeTierSystem() = default;
 

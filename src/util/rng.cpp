@@ -97,6 +97,17 @@ double Rng::lognormal_unit(double sigma) noexcept {
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
+int Rng::geometric(double p) {
+  RAC_EXPECT(p > 0.0 && p <= 1.0, "geometric: p outside (0, 1]");
+  if (p >= 1.0) return 1;
+  // Inversion: one uniform replaces the expected 1/p bernoulli draws of
+  // trial-by-trial sampling. uniform() < 1, so log1p(-u) is finite; the
+  // quotient is bounded by ~log(2^53) / -log1p(-p), far below INT_MAX for
+  // any p this codebase uses.
+  const double u = uniform();
+  return 1 + static_cast<int>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
 std::size_t Rng::categorical(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) total += w;

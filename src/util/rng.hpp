@@ -73,6 +73,11 @@ class Rng {
   /// Bernoulli trial.
   bool bernoulli(double p) noexcept;
 
+  /// Number of bernoulli(p) trials up to and including the first success
+  /// (>= 1), sampled by inversion from a single uniform draw. p in (0, 1]
+  /// (contract).
+  int geometric(double p);
+
   /// Sample an index from a discrete distribution given by non-negative
   /// weights (need not be normalized; at least one must be positive --
   /// contract).

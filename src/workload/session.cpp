@@ -11,13 +11,12 @@ SessionGenerator::SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg)
     : mix_(mix), rng_(rng), profile_(browser_profile(mix)), use_cbmg_(use_cbmg) {}
 
 int SessionGenerator::draw_session_length() {
-  // Geometric with the profile's mean, at least 1 interaction.
+  // Geometric with the profile's mean, at least 1 interaction. A single
+  // inversion draw, where trial-by-trial sampling would consume one
+  // uniform per interaction of every session the simulation starts.
   const double mean = profile_.session_length_mean;
   RAC_EXPECT(mean >= 1.0, "draw_session_length: mean below 1 interaction");
-  const double p = 1.0 / mean;
-  int length = 1;
-  while (!rng_.bernoulli(p)) ++length;
-  return length;
+  return rng_.geometric(1.0 / mean);
 }
 
 Interaction SessionGenerator::draw_interaction() {

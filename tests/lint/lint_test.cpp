@@ -173,6 +173,34 @@ TEST(LintRules, UntrackedTimerExemptInsideObsAndOutsideSrc) {
             0);
 }
 
+TEST(LintRules, HotPathAllocFiresInHotSubsystems) {
+  for (const std::string dir :
+       {"src/queueing/", "src/tiersim/", "src/rl/"}) {
+    const auto findings =
+        lint_fixture("hot_path_alloc.cpp", dir + "fixture.cpp");
+    // new, make_unique, make_shared, unordered_map, std::map, std::list;
+    // the suppressed make_unique and the look-alikes do not fire.
+    EXPECT_EQ(count_rule(findings, "hot-path-alloc"), 6) << dir;
+  }
+}
+
+TEST(LintRules, HotPathAllocIgnoredOutsideHotSubsystems) {
+  for (const std::string dir : {"src/core/", "src/util/", "src/env/"}) {
+    const auto findings =
+        lint_fixture("hot_path_alloc.cpp", dir + "fixture.cpp");
+    EXPECT_EQ(count_rule(findings, "hot-path-alloc"), 0) << dir;
+  }
+}
+
+TEST(LintRules, HotPathAllocIgnoresIncludesAndIdentifiers) {
+  const auto findings = rac::lint::lint_text(
+      "src/rl/fixture.cpp",
+      "#include <unordered_map>\n"
+      "#include <list>\n"
+      "int renew_count(int newest) { return newest + 1; }\n");
+  EXPECT_EQ(count_rule(findings, "hot-path-alloc"), 0);
+}
+
 TEST(LintRules, FloatEqFiresOnBothOperandOrders) {
   const auto findings =
       lint_fixture("float_eq.cpp", "src/queueing/fixture.cpp");
@@ -213,12 +241,13 @@ TEST(LintRuleTable, IdsAreUniqueAndFindingsReferToThem) {
   std::set<std::string_view> ids;
   for (const auto& rule : rac::lint::rules()) ids.insert(rule.id);
   EXPECT_EQ(ids.size(), rac::lint::rules().size());
-  EXPECT_EQ(ids.size(), 11u);
+  EXPECT_EQ(ids.size(), 12u);
   for (const std::string fixture :
        {"rand.cpp", "wall_clock.cpp", "default_registry.cpp",
         "raw_assert.cpp", "iostream.cpp", "include_hygiene.cpp",
         "float_eq.cpp", "locale_io.cpp", "suppressed.cpp",
-        "unchecked_measure.cpp", "untracked_timer.cpp"}) {
+        "unchecked_measure.cpp", "untracked_timer.cpp",
+        "hot_path_alloc.cpp"}) {
     for (const auto& f : lint_fixture(fixture, "src/core/fixture.cpp")) {
       EXPECT_TRUE(ids.count(f.rule)) << fixture << " -> " << f.rule;
     }

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace rac::queueing {
 namespace {
@@ -208,6 +213,118 @@ TEST(Mva, SolveInvariantsHoldOnHealthyNetwork) {
     EXPECT_GE(sr.utilization, 0.0) << sr.name;
     EXPECT_LE(sr.utilization, 1.0 + 1e-9) << sr.name;
   }
+}
+
+
+TEST(Mva, ZeroPopulationIsDefinedAndAudited) {
+  // Regression: solve(0) used to return zeroed per-station fields without
+  // ever passing through the audit block. The empty system is now an
+  // explicitly defined result: all fields finite, utilization exactly 0.
+  ClosedNetwork net(2.0);
+  net.add_station(make_queueing_station("web", 3.0));
+  net.add_station(make_multiserver_station("app", 2, 1.5, 10));
+  const auto r = net.solve(0);
+  EXPECT_EQ(r.population, 0);
+  EXPECT_DOUBLE_EQ(r.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(r.response_time, 0.0);
+  ASSERT_EQ(r.stations.size(), 2u);
+  for (const auto& s : r.stations) {
+    EXPECT_TRUE(std::isfinite(s.residence_time));
+    EXPECT_DOUBLE_EQ(s.queue_length, 0.0);
+    EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(r.little_check(), 0.0);
+  // A cold cache stays cold: population 0 runs no recursion.
+  EXPECT_EQ(net.solved_population(), 0);
+}
+
+TEST(Mva, IncrementalSolveIsBitIdenticalToFromScratch) {
+  // Golden determinism sweep: one long-lived network absorbs a randomized
+  // sequence of mutations (rate edits, think-time edits, station adds)
+  // interleaved with solves at jumping populations, and every result must
+  // be bitwise identical (EXPECT_EQ on doubles, no tolerance) to a fresh
+  // network solving from scratch.
+  util::Rng rng(20260808);
+  const auto random_rates = [&rng] {
+    std::vector<double> rates;
+    const int len = rng.uniform_int(1, 8);
+    for (int i = 0; i < len; ++i) rates.push_back(rng.uniform(0.2, 12.0));
+    return rates;
+  };
+
+  double think = 1.0;
+  std::vector<Station> spec;
+  spec.push_back(Station{"s0", 1.0, random_rates()});
+  ClosedNetwork cached(think);
+  cached.add_station(spec[0]);
+
+  const auto fresh = [&] {
+    ClosedNetwork net(think);
+    for (const auto& s : spec) net.add_station(s);
+    return net;
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    switch (rng.uniform_int(0, 9)) {
+      case 0:  // think-time edit
+        think = rng.uniform(0.0, 4.0);
+        cached.set_think_time(think);
+        break;
+      case 1: {  // rate-table edit
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(spec.size()) - 1));
+        spec[i].rates = random_rates();
+        cached.set_station_rates(i, spec[i].rates);
+        break;
+      }
+      case 2:  // station add (bounded so pairs and the odd tail both occur)
+        if (spec.size() < 5) {
+          spec.push_back(Station{"s" + std::to_string(spec.size()),
+                                 rng.uniform(0.5, 2.0), random_rates()});
+          cached.add_station(spec.back());
+        }
+        break;
+      default:
+        break;  // no mutation: exercise resumed and cached solves
+    }
+
+    const int population = rng.uniform_int(0, 60);
+    ClosedNetwork scratch = fresh();
+    if (population >= 1 && rng.bernoulli(0.3)) {
+      const auto a = cached.throughput_curve(population);
+      const auto b = scratch.throughput_curve(population);
+      ASSERT_EQ(a.size(), b.size()) << "round " << round;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "round " << round << " X(" << i + 1 << ")";
+      }
+    }
+    const auto a = cached.solve(population);
+    const auto b = scratch.solve(population);
+    EXPECT_EQ(a.throughput, b.throughput) << "round " << round;
+    EXPECT_EQ(a.response_time, b.response_time) << "round " << round;
+    ASSERT_EQ(a.stations.size(), b.stations.size());
+    for (std::size_t s = 0; s < a.stations.size(); ++s) {
+      EXPECT_EQ(a.stations[s].residence_time, b.stations[s].residence_time)
+          << "round " << round << " station " << s;
+      EXPECT_EQ(a.stations[s].queue_length, b.stations[s].queue_length)
+          << "round " << round << " station " << s;
+      EXPECT_EQ(a.stations[s].utilization, b.stations[s].utilization)
+          << "round " << round << " station " << s;
+    }
+    EXPECT_GE(cached.solved_population(), population);
+  }
+}
+
+TEST(Mva, CacheKeptOnIdenticalMutation) {
+  ClosedNetwork net(1.5);
+  net.add_station(make_queueing_station("s", 2.0));
+  net.solve(10);
+  EXPECT_EQ(net.solved_population(), 10);
+  net.set_think_time(1.5);                  // identical: cache survives
+  net.set_station_rates(0, {2.0});          // identical: cache survives
+  EXPECT_EQ(net.solved_population(), 10);
+  net.set_station_rates(0, {2.5});          // real change: cache drops
+  EXPECT_EQ(net.solved_population(), 0);
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <vector>
+
+#include "config/space.hpp"
+#include "util/rng.hpp"
 
 #include "util/contracts.hpp"
 
@@ -183,6 +188,37 @@ TEST(ExperienceStore, RestoreRejectsCorruptEntries) {
   // A failed restore leaves the store usable.
   store.restore({good});
   EXPECT_EQ(store.size(), 1u);
+}
+
+
+TEST(ExperienceStore, SortedConfigurationsMatchSortedCopy) {
+  // The canonical list is maintained incrementally on insert; it must be
+  // exactly what sorting configurations() by values() would produce, both
+  // after organic recording and after a restore round trip.
+  ExperienceStore store;
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    store.record(config::ConfigSpace::random_fine(rng),
+                 rng.uniform(10.0, 500.0));
+  }
+  auto expected = store.configurations();
+  std::sort(expected.begin(), expected.end(),
+            [](const config::Configuration& a, const config::Configuration& b) {
+              return a.values() < b.values();
+            });
+  const auto sorted = store.sorted_configurations();
+  ASSERT_EQ(sorted.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(sorted[i], expected[i]) << i;
+  }
+
+  ExperienceStore restored;
+  restored.restore({store.entries().begin(), store.entries().end()});
+  const auto resorted = restored.sorted_configurations();
+  ASSERT_EQ(resorted.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(resorted[i], expected[i]) << i;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace rac::rl {
 namespace {
 
@@ -99,6 +104,91 @@ TEST(QTable, ClearEmptiesTable) {
   t.set_q(Configuration{}, Action::keep(), 1.0);
   t.clear();
   EXPECT_TRUE(t.empty());
+}
+
+
+TEST(QTable, AbsorbMergesPerAction) {
+  // Collision regression: the target wrote one action, the source another.
+  // Whole-row overwrite would reset the target's action to the source's
+  // default fill; per-action merge keeps both.
+  QTable a;
+  QTable b;
+  const Configuration s;
+  a.set_q(s, Action(3), 1.5);
+  b.set_q(s, Action(5), -2.0);
+  a.absorb(b);
+  EXPECT_DOUBLE_EQ(a.q(s, Action(3)), 1.5);
+  EXPECT_DOUBLE_EQ(a.q(s, Action(5)), -2.0);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(QTable, AbsorbSourceWinsOnSameAction) {
+  QTable a;
+  QTable b;
+  const Configuration s;
+  a.set_q(s, Action(3), 1.5);
+  b.set_q(s, Action(3), 9.0);
+  a.absorb(b);
+  EXPECT_DOUBLE_EQ(a.q(s, Action(3)), 9.0);
+}
+
+TEST(QTable, AbsorbDisjointStatesIsUnion) {
+  QTable a;
+  QTable b;
+  Configuration s1;
+  Configuration s2;
+  s2.set(ParamId::kMaxClients, s2.value(ParamId::kMaxClients) + 1);
+  a.set_q(s1, Action::keep(), 1.0);
+  b.set_q(s2, Action::keep(), 2.0);
+  a.absorb(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.q(s1, Action::keep()), 1.0);
+  EXPECT_DOUBLE_EQ(a.q(s2, Action::keep()), 2.0);
+}
+
+TEST(QTable, WarmRowsAreInvisible) {
+  // ensure_row pre-creates a default-filled row without marking any action
+  // written; the public surface must not distinguish it from an absent
+  // state, and reads through its index must equal the default answers.
+  QTable t;
+  t.set_default_q(0.75);
+  const Configuration s;
+  const std::size_t row = t.ensure_row(s);
+  EXPECT_FALSE(t.contains(s));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.states().empty());
+  EXPECT_DOUBLE_EQ(t.q_at(row, Action::keep()), 0.75);
+  EXPECT_DOUBLE_EQ(t.max_q_at(row), 0.75);
+  EXPECT_DOUBLE_EQ(t.q(s, Action::keep()), 0.75);
+  EXPECT_EQ(t.best_action_at(row), Action::keep());
+  // Absorbing a table of warm rows imports nothing.
+  QTable other;
+  other.absorb(t);
+  EXPECT_TRUE(other.empty());
+  // First write makes the row public.
+  t.add_q_at(row, Action(2), 0.5);
+  EXPECT_TRUE(t.contains(s));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find_row(s), row);
+}
+
+TEST(QTable, ManyStatesSurviveProbeTableGrowth) {
+  // Push well past the initial probe-table capacity and re-read everything.
+  QTable t;
+  util::Rng rng(7);
+  std::vector<Configuration> states;
+  for (int i = 0; i < 500; ++i) {
+    const auto s = config::ConfigSpace::random_fine(rng);
+    if (t.contains(s)) continue;
+    t.set_q(s, Action::keep(), static_cast<double>(i));
+    states.push_back(s);
+  }
+  EXPECT_EQ(t.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.q(states[i], Action::keep()), static_cast<double>(i));
+  }
+  EXPECT_EQ(t.states().size(), states.size());
 }
 
 }  // namespace

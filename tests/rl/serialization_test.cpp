@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <clocale>
 #include <cstdio>
 #include <fstream>
 #include <locale>
 #include <sstream>
+#include <unordered_map>
+
+#include "util/lineio.hpp"
 
 #include "util/rng.hpp"
 
@@ -256,6 +260,74 @@ TEST(Serialization, RoundTripSurvivesCommaGlobalCppLocale) {
     EXPECT_EQ(loaded.q(state, config::Action(0)),
               original.q(state, config::Action(0)));
   }
+}
+
+
+TEST(Serialization, FlatTableMatchesMapBasedReferenceLoader) {
+  // The flat open-addressing table replaced a node-based hash map; the
+  // rac-qtable v2 format is unchanged. This reference loader parses the
+  // stream the way the old map-backed implementation stored it and checks
+  // the flat loader agrees value for value.
+  const QTable original = sample_table();
+  std::stringstream stream;
+  save_qtable(stream, original);
+  const std::string text = stream.str();
+
+  std::stringstream reference(text);
+  ASSERT_EQ(util::read_token(reference, "ref"), "rac-qtable");
+  ASSERT_EQ(util::read_token(reference, "ref"), "v2");
+  ASSERT_EQ(util::read_token(reference, "ref"), "default_q");
+  const double default_q =
+      util::parse_double(util::read_token(reference, "ref"), "ref");
+  ASSERT_EQ(util::read_token(reference, "ref"), "states");
+  const std::uint64_t count =
+      util::parse_u64(util::read_token(reference, "ref"), "ref");
+  std::unordered_map<config::Configuration,
+                     std::array<double, config::kNumActions>,
+                     config::ConfigurationHash>
+      rows;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::array<int, config::kNumParams> values{};
+    for (auto& v : values) {
+      v = util::parse_int(util::read_token(reference, "ref"), "ref");
+    }
+    std::array<double, config::kNumActions> qs{};
+    for (auto& q : qs) {
+      q = util::parse_double(util::read_token(reference, "ref"), "ref");
+    }
+    ASSERT_TRUE(rows.emplace(config::Configuration(values), qs).second);
+  }
+  ASSERT_EQ(util::read_token(reference, "ref"), "end");
+
+  std::stringstream reload(text);
+  const QTable loaded = load_qtable(reload);
+  EXPECT_EQ(loaded.size(), rows.size());
+  EXPECT_EQ(loaded.default_q(), default_q);
+  for (const auto& [state, qs] : rows) {
+    ASSERT_TRUE(loaded.contains(state));
+    for (std::size_t a = 0; a < config::kNumActions; ++a) {
+      EXPECT_EQ(loaded.q(state, config::Action(static_cast<int>(a))), qs[a]);
+    }
+  }
+}
+
+TEST(Serialization, WarmRowsDoNotSerialize) {
+  // Rows pre-created for the TD inner loop's neighbor lookups hold only
+  // default values and must not leak into checkpoints: the stream has to
+  // match what the map-based store (which had no such rows) would write.
+  QTable table = sample_table();
+  std::stringstream before;
+  save_qtable(before, table);
+
+  util::Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const auto extra = config::ConfigSpace::random_fine(rng);
+    if (table.contains(extra)) continue;
+    table.ensure_row(extra);
+  }
+  std::stringstream after;
+  save_qtable(after, table);
+  EXPECT_EQ(after.str(), before.str());
 }
 
 }  // namespace

@@ -214,6 +214,16 @@ const std::vector<LineRule>& line_rules() {
         {"src/"},
         {"src/obs/"}});
     r.push_back(LineRule{
+        "hot-path-alloc",
+        std::regex(
+            R"(\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|\bunordered_(map|set)\s*<|\bstd\s*::\s*(map|set|list|multimap|multiset)\s*<)"),
+        "per-element heap allocation in a hot-path subsystem (operator "
+        "new, make_unique/make_shared, or a node-based container); use "
+        "flat/arena storage, or justify a cold-path site with a "
+        "suppression",
+        {"src/queueing/", "src/tiersim/", "src/rl/"},
+        {}});
+    r.push_back(LineRule{
         "float-eq",
         std::regex(std::string(R"((==|!=)\s*[-+]?)") + kFloatLit + "|" +
                    kFloatLit + R"(\s*(==|!=))"),
@@ -270,6 +280,8 @@ const std::vector<RuleInfo>& rules() {
       {"locale-io", "locale-sensitive numeric I/O; use util/lineio"},
       {"untracked-timer",
        "raw steady/high_resolution clock reads in src/ outside obs/"},
+      {"hot-path-alloc",
+       "per-element heap allocation in src/{queueing,tiersim,rl}"},
       {"float-eq", "exact float comparison against a literal"},
       {"unchecked-measure",
        "raw measure() in src/core/; use try_measure or suppress"},

@@ -28,6 +28,12 @@
 //   float-eq          == / != against a floating-point literal -- exact
 //                     float comparison is almost always a bug; use an
 //                     epsilon, or suppress where exactness is the point.
+//   hot-path-alloc    operator new, make_unique/make_shared, or a
+//                     node-based container (unordered_map, std::map,
+//                     std::list, ...) in src/{queueing,tiersim,rl} -- the
+//                     inner loops there are allocation-free by design
+//                     (flat tables, slot arenas); cold-path sites carry a
+//                     justified suppression.
 //
 // Findings on a line carrying `// rac-lint: allow(<rule>[, <rule>...])`
 // are suppressed for the named rules only; suppressions are expected to
