@@ -180,7 +180,7 @@ void RacAgent::observe(const config::Configuration& applied,
     // Bitwise comparison on purpose: a live (noisy) sensor essentially
     // never repeats a double exactly, a stuck one repeats it exactly.
     if (freeze_has_last_ &&
-        sample.response_ms == freeze_last_raw_) {  // rac-lint: allow(float-eq)
+        sample.response_ms == freeze_last_raw_) {
       ++freeze_repeats_;
     } else {
       freeze_repeats_ = 0;

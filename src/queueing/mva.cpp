@@ -61,7 +61,9 @@ void ClosedNetwork::set_think_time(double think_time) {
   if (think_time < 0.0) {
     throw std::invalid_argument("ClosedNetwork: negative think time");
   }
-  if (think_time == think_time_) return;  // rac-lint: allow(float-eq)
+  // Exact bitwise compare on purpose: an unchanged setting must not
+  // invalidate the memoized solve.
+  if (think_time == think_time_) return;
   think_time_ = think_time;
   invalidate();
 }

@@ -1,0 +1,24 @@
+// Seeded parallel races: by-ref captured state written without indexing
+// by the task index. TSan reports these only on schedules that happen to
+// interleave the writes; the write shape is detectable statically.
+// Never compiled.
+#include <cstddef>
+#include <vector>
+
+void race_sum(const std::vector<double>& in, double& total) {
+  parallel_for(in.size(), [&](std::size_t i) {
+    total += in[i];  // racy read-modify-write on shared state
+  });
+}
+
+void race_append(const std::vector<double>& in, std::vector<double>& out) {
+  parallel_for(in.size(), [&out, &in](std::size_t i) {
+    out.push_back(in[i] * 2.0);  // racy container mutation
+  });
+}
+
+void race_last(const std::vector<double>& in, std::size_t& last_seen) {
+  parallel_for(in.size(), [&](std::size_t i) {
+    last_seen = i;  // racy last-writer-wins
+  });
+}

@@ -1,0 +1,20 @@
+// Safe twins of parallel_capture_bad.cpp: every write lands in a slot
+// indexed by the task index or stays local to the task. The rule must
+// stay silent. Never compiled.
+#include <cstddef>
+#include <vector>
+
+void map_scaled(const std::vector<double>& in, std::vector<double>& out) {
+  parallel_for(in.size(), [&](std::size_t i) {
+    out[i] = in[i] * 2.0;  // disjoint per-task slot
+  });
+}
+
+void local_then_slot(const std::vector<double>& in,
+                     std::vector<double>& partial) {
+  parallel_for(in.size(), [&](std::size_t i) {
+    double scaled = in[i] * 2.0;
+    scaled += 1.0;  // task-local accumulation
+    partial[i] = scaled;
+  });
+}

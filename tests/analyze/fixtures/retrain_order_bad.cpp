@@ -1,0 +1,25 @@
+// The PR 4 retrain bug, reconstructed: the Q-table keys its states in an
+// unordered_map, and serializing a snapshot by iterating it directly
+// writes the library file in hash order -- two behaviorally identical
+// agents produce different snapshot bytes. Never compiled.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Snapshot {
+  std::vector<std::string> lines;
+};
+
+class Table {
+ public:
+  Snapshot serialize() const {
+    Snapshot snap;
+    for (const auto& [state, q] : values_) {
+      snap.lines.push_back(state + " " + std::to_string(q));
+    }
+    return snap;
+  }
+
+ private:
+  std::unordered_map<std::string, double> values_;
+};

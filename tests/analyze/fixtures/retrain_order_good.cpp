@@ -1,0 +1,30 @@
+// The canonical fix for retrain_order_bad.cpp: collect the keys, sort
+// them, then serialize in sorted order. The rule must stay silent.
+// Never compiled.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Snapshot {
+  std::vector<std::string> lines;
+};
+
+class Table {
+ public:
+  Snapshot serialize() const {
+    std::vector<std::string> states;
+    for (const auto& [state, q] : values_) {
+      states.push_back(state);
+    }
+    std::sort(states.begin(), states.end());
+    Snapshot snap;
+    for (const auto& state : states) {
+      snap.lines.push_back(state + " " + std::to_string(values_.at(state)));
+    }
+    return snap;
+  }
+
+ private:
+  std::unordered_map<std::string, double> values_;
+};

@@ -1,0 +1,14 @@
+// Good twin of taint_core_bad.cpp: time arrives from the simulation
+// clock as a parameter, randomness from the seeded Rng. The reachability
+// rules must stay silent. Never compiled.
+namespace rac::core {
+
+long decide_epoch(long sim_now_ms) {
+  return sim_now_ms;
+}
+
+int jitter(Rng& rng) {
+  return rng.next_int();
+}
+
+}  // namespace rac::core

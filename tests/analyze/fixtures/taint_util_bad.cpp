@@ -1,0 +1,23 @@
+// Wall-clock and ambient-randomness wrappers. Defining these in util is
+// not itself the bug (analyzed under a pretend src/util/ path that is NOT
+// exempt); calling them from a reproducible subsystem is. Never compiled.
+#include <chrono>
+#include <cstdlib>
+
+namespace rac::util {
+
+long now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+long stamp() {
+  return now_ms();  // depth-2: taint must flow through this wrapper
+}
+
+int ambient_draw() {
+  return std::rand();
+}
+
+}  // namespace rac::util

@@ -1,0 +1,13 @@
+// Analyzed under the pretend path src/util/rng.cpp: the seeded RNG may
+// touch std::random_device for default seeding -- that file is
+// taint-exempt by design, so nothing may propagate from here.
+// Never compiled.
+#include <random>
+
+namespace rac::util {
+
+unsigned default_seed() {
+  return std::random_device{}();
+}
+
+}  // namespace rac::util

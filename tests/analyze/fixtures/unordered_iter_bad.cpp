@@ -1,0 +1,31 @@
+// Seeded bugs for the unordered-iter rule: every loop below does work
+// whose result depends on hash-table iteration order. Never compiled;
+// analyzed in-process by analyze_tests under a pretend src/ path.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double sum_of(const std::unordered_map<std::string, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) {
+    total += value;  // fp accumulation order follows bucket order
+  }
+  return total;
+}
+
+std::string last_key(const std::unordered_map<std::string, double>& m) {
+  std::string winner;
+  for (const auto& [key, value] : m) {
+    winner = key;  // which element wins follows bucket order
+  }
+  return winner;
+}
+
+std::vector<std::string> keys_of(
+    const std::unordered_map<std::string, double>& m) {
+  std::vector<std::string> keys;
+  for (const auto& kv : m) {
+    keys.push_back(kv.first);  // appended (and later serialized) in bucket order
+  }
+  return keys;
+}

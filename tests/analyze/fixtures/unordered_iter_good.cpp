@@ -1,0 +1,41 @@
+// Order-independent twins of unordered_iter_bad.cpp: the rule must stay
+// silent on every loop here. Never compiled.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> sorted_keys(
+    const std::unordered_map<std::string, double>& m) {
+  std::vector<std::string> keys;
+  for (const auto& kv : m) {
+    keys.push_back(kv.first);
+  }
+  std::sort(keys.begin(), keys.end());  // sorted before anyone reads it
+  return keys;
+}
+
+std::map<std::string, double> rekeyed(
+    const std::unordered_map<std::string, double>& m) {
+  std::map<std::string, double> ordered;
+  for (const auto& [key, value] : m) {
+    ordered.insert({key, value});  // ordered target sorts by construction
+  }
+  return ordered;
+}
+
+double sum_sorted(const std::unordered_map<std::string, double>& m) {
+  std::map<std::string, double> ordered(m.begin(), m.end());
+  double total = 0.0;
+  for (const auto& [key, value] : ordered) {
+    total += value;  // iterating the ordered copy: stable fp sum
+  }
+  return total;
+}
+
+void zero_all(std::unordered_map<std::string, double>& m) {
+  for (auto& [key, value] : m) {
+    value = 0.0;  // per-element write, order-independent
+  }
+}

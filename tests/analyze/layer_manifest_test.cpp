@@ -1,0 +1,65 @@
+// Golden test for tools/analyze/layers.manifest: regenerating the
+// manifest from the real tree's observed include graph must reproduce the
+// checked-in bytes exactly. Architectural drift (a new module edge, a
+// removed one) therefore shows up as a failing test plus a one-line
+// manifest diff, never as silent coupling growth.
+#include "analyze_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using rac::analyze::Manifest;
+
+std::string manifest_path() {
+  return std::string(RAC_PROJECT_SOURCE_DIR) +
+         "/tools/analyze/layers.manifest";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(LayerManifest, CheckedInManifestMatchesTheTree) {
+  const std::string checked_in = read_file(manifest_path());
+  const Manifest manifest = Manifest::parse(checked_in);
+  const auto files =
+      rac::analyze::load_tree(RAC_PROJECT_SOURCE_DIR, {"src"});
+  const auto observed = rac::analyze::observed_module_deps(files);
+  const std::string regenerated =
+      rac::analyze::regenerate_manifest(manifest, observed);
+  EXPECT_EQ(regenerated, checked_in)
+      << "layers.manifest drifted from the tree; regenerate with\n"
+         "  rac_analyze --root . --write-manifest > "
+         "tools/analyze/layers.manifest";
+}
+
+TEST(LayerManifest, SerializeParseRoundTrips) {
+  const Manifest manifest = Manifest::parse(read_file(manifest_path()));
+  const Manifest reparsed = Manifest::parse(manifest.serialize());
+  EXPECT_EQ(reparsed.layers, manifest.layers);
+  EXPECT_EQ(reparsed.deps, manifest.deps);
+  EXPECT_EQ(reparsed.serialize(), manifest.serialize());
+}
+
+TEST(LayerManifest, RealTreeHasNoLayerFindings) {
+  const Manifest manifest = Manifest::parse(read_file(manifest_path()));
+  const auto files =
+      rac::analyze::load_tree(RAC_PROJECT_SOURCE_DIR, {"src"});
+  const auto findings = rac::analyze::analyze_sources(files, &manifest);
+  for (const auto& f : findings) {
+    EXPECT_TRUE(f.rule.find("layer-") != 0 && f.rule != "include-cycle")
+        << rac::analyze::to_text({f});
+  }
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Round-trips rac-analyze SARIF output through a minimal JSON parser and
+// checks the structure external SARIF viewers rely on: schema version,
+// the full rule table under tool.driver.rules, and one result per finding
+// with ruleId/message/location intact.
+#include "analyze_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- a deliberately tiny JSON parser (objects, arrays, strings, numbers,
+// booleans, null; enough for SARIF) --------------------------------------
+
+struct JValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JValue> items;
+  std::map<std::string, JValue> fields;
+
+  const JValue& at(const std::string& key) const {
+    static const JValue missing;
+    const auto it = fields.find(key);
+    return it == fields.end() ? missing : it->second;
+  }
+};
+
+class JParser {
+ public:
+  explicit JParser(std::string text) : text_(std::move(text)) {}
+
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing JSON garbage";
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JValue value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      pos_ += 4;
+      return JValue{};
+    }
+    return number();
+  }
+
+  JValue fail(const std::string& why) {
+    ADD_FAILURE() << "JSON parse error at offset " << pos_ << ": " << why;
+    ok_ = false;
+    pos_ = text_.size();
+    return JValue{};
+  }
+
+  JValue object() {
+    JValue v;
+    v.kind = JValue::kObject;
+    eat('{');
+    if (eat('}')) return v;
+    do {
+      skip_ws();
+      JValue key = string_value();
+      if (!ok_) return v;
+      if (!eat(':')) return fail("expected ':'");
+      v.fields[key.str] = value();
+    } while (ok_ && eat(','));
+    if (ok_ && !eat('}')) return fail("expected '}'");
+    return v;
+  }
+
+  JValue array() {
+    JValue v;
+    v.kind = JValue::kArray;
+    eat('[');
+    if (eat(']')) return v;
+    do {
+      v.items.push_back(value());
+    } while (ok_ && eat(','));
+    if (ok_ && !eat(']')) return fail("expected ']'");
+    return v;
+  }
+
+  JValue string_value() {
+    JValue v;
+    v.kind = JValue::kString;
+    if (!eat('"')) return fail("expected '\"'");
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            pos_ += 4;  // fixtures only use \u00xx control escapes
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      v.str += c;
+    }
+    if (!eat('"')) return fail("unterminated string");
+    return v;
+  }
+
+  JValue boolean() {
+    JValue v;
+    v.kind = JValue::kBool;
+    v.boolean = text_[pos_] == 't';
+    pos_ += v.boolean ? 4 : 5;
+    return v;
+  }
+
+  JValue number() {
+    JValue v;
+    v.kind = JValue::kNumber;
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return fail("expected number");
+    v.number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::vector<rac::analyze::Finding> sample_findings() {
+  return {
+      {"src/rl/qtable.cpp", 17, "unordered-iter",
+       "range-for over unordered container 'values_' appends"},
+      {"src/core/agent.cpp", 8, "clock-reachability",
+       "call to 'stamp' reaches a wall-clock read with a \"quoted\" chain"},
+  };
+}
+
+TEST(Sarif, RoundTripsVersionRulesAndResults) {
+  const auto findings = sample_findings();
+  const std::string sarif = rac::analyze::to_sarif(findings);
+  JParser parser(sarif);
+  const JValue root = parser.parse();
+  ASSERT_TRUE(parser.ok());
+
+  EXPECT_EQ(root.at("version").str, "2.1.0");
+  ASSERT_EQ(root.at("runs").items.size(), 1u);
+  const JValue& run = root.at("runs").items[0];
+
+  const JValue& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").str, "rac-analyze");
+  std::set<std::string> declared;
+  for (const auto& rule : driver.at("rules").items) {
+    declared.insert(rule.at("id").str);
+    EXPECT_FALSE(rule.at("shortDescription").at("text").str.empty());
+  }
+  // The driver advertises the full --list-rules table.
+  EXPECT_EQ(declared.size(), rac::analyze::rules().size());
+  for (const auto& rule : rac::analyze::rules()) {
+    EXPECT_TRUE(declared.count(std::string(rule.id))) << rule.id;
+  }
+
+  const auto& results = run.at("results").items;
+  ASSERT_EQ(results.size(), findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(results[i].at("ruleId").str, findings[i].rule);
+    EXPECT_EQ(results[i].at("message").at("text").str,
+              findings[i].message);
+    const auto& locs = results[i].at("locations").items;
+    ASSERT_EQ(locs.size(), 1u);
+    const JValue& phys = locs[0].at("physicalLocation");
+    EXPECT_EQ(phys.at("artifactLocation").at("uri").str, findings[i].file);
+    EXPECT_EQ(phys.at("region").at("startLine").number,
+              static_cast<double>(findings[i].line));
+  }
+}
+
+TEST(Sarif, EmptyFindingsStillCarryTheRuleTable) {
+  JParser parser(rac::analyze::to_sarif({}));
+  const JValue root = parser.parse();
+  ASSERT_TRUE(parser.ok());
+  const JValue& run = root.at("runs").items.at(0);
+  EXPECT_TRUE(run.at("results").items.empty());
+  EXPECT_EQ(run.at("tool").at("driver").at("rules").items.size(),
+            rac::analyze::rules().size());
+}
+
+}  // namespace

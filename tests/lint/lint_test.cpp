@@ -210,9 +210,46 @@ TEST(LintRules, FloatEqFiresOnBothOperandOrders) {
 TEST(LintSuppressions, SameLineAllowSilencesOnlyTheNamedRule) {
   const auto findings =
       lint_fixture("suppressed.cpp", "src/util/fixture.cpp");
-  // The allow(float-eq) line is silenced; the allow(rand) line is not.
+  // The allow(float-eq) line is silenced; the allow(rand) line is not --
+  // and since allow(rand) suppresses nothing, it is itself reported.
   ASSERT_EQ(count_rule(findings, "float-eq"), 1);
   EXPECT_EQ(findings.front().line, 7);
+  ASSERT_EQ(count_rule(findings, "unused-suppression"), 1);
+  EXPECT_EQ(findings.back().line, 7);
+}
+
+TEST(LintSuppressions, UsedSuppressionIsNotReportedAsUnused) {
+  const auto findings = rac::lint::lint_text(
+      "src/util/fixture.cpp",
+      "bool f(double x) { return x == 0.0; }"
+      "  // rac-lint: allow(float-eq) exactness intended\n");
+  EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
+}
+
+TEST(LintSuppressions, StaleAllowIsUnusedSuppression) {
+  const auto findings = rac::lint::lint_text(
+      "src/util/fixture.cpp",
+      "int f();  // rac-lint: allow(rand) nothing to suppress here\n");
+  ASSERT_EQ(count_rule(findings, "unused-suppression"), 1);
+  EXPECT_EQ(findings.front().line, 1);
+}
+
+TEST(LintSuppressions, PlaceholderAllowInDocCommentsIsIgnored) {
+  // Documentation like `allow(<rule>)` or allow(RULE) is not a
+  // suppression attempt: no unused-suppression noise.
+  const auto findings = rac::lint::lint_text(
+      "src/util/fixture.cpp",
+      "// The syntax is `// rac-lint: allow(<rule>)` on the finding line.\n"
+      "int f();\n");
+  EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
+}
+
+TEST(LintSuppressions, AllowUnusedSuppressionExemptsTheLine) {
+  const auto findings = rac::lint::lint_text(
+      "src/util/fixture.cpp",
+      "int f();  // rac-lint: allow(rand, unused-suppression)"
+      " intentionally pre-placed\n");
+  EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
 }
 
 TEST(LintSuppressions, CommaListAllowsMultipleRules) {
@@ -237,11 +274,46 @@ TEST(LintStripping, CommentsAndStringsNeverFire) {
   EXPECT_TRUE(findings.empty()) << rac::lint::to_text(findings);
 }
 
+TEST(LintStripping, RawStringContentsNeverFireAndCodeAfterThemDoes) {
+  const auto findings =
+      lint_fixture("raw_string.cpp", "src/core/fixture.cpp");
+  // All rand/cout text inside the raw strings is data; the single real
+  // std::rand() after the quote-bearing one-line raw string fires.
+  EXPECT_EQ(count_rule(findings, "iostream"), 0)
+      << rac::lint::to_text(findings);
+  ASSERT_EQ(count_rule(findings, "rand"), 1)
+      << rac::lint::to_text(findings);
+  EXPECT_EQ(findings.front().line, 17);
+}
+
+TEST(LintStripping, LineContinuationsExtendCommentsAndStrings) {
+  const auto findings =
+      lint_fixture("line_continuation.cpp", "src/core/fixture.cpp");
+  // The rand() on the comment-continued and string-continued lines is
+  // not code; only the last function's call is.
+  ASSERT_EQ(count_rule(findings, "rand"), 1)
+      << rac::lint::to_text(findings);
+  EXPECT_EQ(findings.front().line, 16);
+}
+
+TEST(LintScoping, CliTreesAreExemptFromIostreamAndDefaultRegistry) {
+  for (const std::string path :
+       {"tools/bench/fixture.cpp", "bench/fixture.cpp",
+        "examples/fixture.cpp"}) {
+    EXPECT_EQ(count_rule(lint_fixture("iostream.cpp", path), "iostream"), 0)
+        << path;
+    EXPECT_EQ(count_rule(lint_fixture("default_registry.cpp", path),
+                         "default-registry"),
+              0)
+        << path;
+  }
+}
+
 TEST(LintRuleTable, IdsAreUniqueAndFindingsReferToThem) {
   std::set<std::string_view> ids;
   for (const auto& rule : rac::lint::rules()) ids.insert(rule.id);
   EXPECT_EQ(ids.size(), rac::lint::rules().size());
-  EXPECT_EQ(ids.size(), 12u);
+  EXPECT_EQ(ids.size(), 13u);
   for (const std::string fixture :
        {"rand.cpp", "wall_clock.cpp", "default_registry.cpp",
         "raw_assert.cpp", "iostream.cpp", "include_hygiene.cpp",

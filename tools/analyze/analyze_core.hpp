@@ -1,0 +1,98 @@
+// rac-analyze: the project's semantic, cross-file static analyzer.
+//
+// rac-lint stops at stripped-line regexes; this tool works on the srcscan
+// token stream with scope tracking and cross-file graphs, and enforces the
+// invariants the compiler cannot check and a per-line regex cannot see:
+//
+// Include/layer graph (see include_graph.hpp):
+//   include-cycle   quoted-include cycle among project files.
+//   layer-unknown   src/ module missing from layers.manifest.
+//   layer-order     module includes a module from a higher layer.
+//   layer-edge      module include edge not declared in layers.manifest.
+//   layer-cycle     cycle in the observed module dependency graph.
+//
+// Determinism dataflow:
+//   unordered-iter  range-for over an unordered_{map,set} whose body does
+//                   order-dependent work: compound-assignment accumulation
+//                   into outer state (floating-point sums change with
+//                   visit order), last-iteration-wins assignments of the
+//                   loop element, or appends to an outer container that is
+//                   never sorted afterwards (the PR 4 retrain bug class:
+//                   serialized output followed hash-table iteration
+//                   order). Scoped to src/ and bench/ -- decision traces
+//                   and bench digests are bit-compared across runs.
+//   clock-reachability / rand-reachability
+//                   a reproducible subsystem (src/{core,rl,env,tiersim,
+//                   queueing}) calls a helper whose body -- possibly
+//                   through further helpers, in any src/ file -- reaches a
+//                   wall-clock read or ambient randomness. rac-lint flags
+//                   the direct read; this closes the wrapper loophole.
+//                   Taint sources in src/obs/, src/util/log.*, and
+//                   src/util/rng.* are exempt (instrumentation and the
+//                   seeded RNG own those reads by design).
+//
+// Parallel safety:
+//   parallel-ref-capture
+//                   a lambda passed to parallel_for/parallel_map captures
+//                   outer state by reference and writes it without
+//                   indexing by the task-index parameter. That is a data
+//                   race TSan only reports when a schedule happens to
+//                   expose it; the write shape is detectable statically.
+//
+// Findings on a line carrying `// rac-analyze: allow(<rule>)` are
+// suppressed for the named rules; a suppression that suppresses nothing is
+// itself a finding (unused-suppression), exactly as in rac-lint.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "include_graph.hpp"
+
+namespace rac::analyze {
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The rule table, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+/// One in-memory source file; relpath (forward-slash, repo-relative)
+/// drives path scoping and include resolution, so tests can analyze
+/// fixture text under any pretend path.
+struct SourceFile {
+  std::string relpath;
+  std::string contents;
+};
+
+/// Analyze a file set as a unit (cross-file rules see all of it).
+/// `manifest` may be null: layer rules are skipped, everything else runs.
+std::vector<Finding> analyze_sources(const std::vector<SourceFile>& files,
+                                     const Manifest* manifest);
+
+/// Load every *.hpp/*.cpp/*.h/*.cc under root/<subdir> (or a single file)
+/// for each subdir, sorted. Throws std::runtime_error on a missing
+/// subdir, matching lint_tree.
+std::vector<SourceFile> load_tree(const std::filesystem::path& root,
+                                  const std::vector<std::string>& subdirs);
+
+/// Observed module-level dependency map of a file set (for the manifest
+/// golden test and --write-manifest).
+std::map<std::string, std::set<std::string>> observed_module_deps(
+    const std::vector<SourceFile>& files);
+
+/// Machine-readable report: {"count": N, "findings": [...]}.
+std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 with one run, the full rule table, and one result per
+/// finding (physicalLocation uri = repo-relative path).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Human-readable "file:line: [rule] message" lines.
+std::string to_text(const std::vector<Finding>& findings);
+
+}  // namespace rac::analyze

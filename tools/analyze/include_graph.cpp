@@ -1,0 +1,373 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace rac::analyze {
+
+namespace {
+
+const char* kManifestHeader =
+    "# rac-analyze layering manifest: the checked-in module architecture "
+    "of src/.\n"
+    "# `layer` lines declare the ordering bottom -> top; a module may only "
+    "include\n"
+    "# modules from its own or a lower layer. `dep` lines are the full set "
+    "of\n"
+    "# observed module-level include edges; rac-analyze fails on any edge "
+    "missing\n"
+    "# from this list, and the layer_manifest golden test fails when this "
+    "file\n"
+    "# drifts from the tree. Regenerate with:\n"
+    "#   rac_analyze --root . --write-manifest > "
+    "tools/analyze/layers.manifest\n";
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string dirname_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+}  // namespace
+
+Manifest Manifest::parse(const std::string& text) {
+  Manifest m;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error("layers.manifest:" + std::to_string(line_no) +
+                             ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    auto words = split_ws(line);
+    if (words[0] == "layer") {
+      if (words.size() < 2) fail("layer line names no modules");
+      m.layers.emplace_back(words.begin() + 1, words.end());
+      continue;
+    }
+    if (words[0] == "dep") {
+      if (words.size() < 2 || words[1].empty() || words[1].back() != ':') {
+        fail("dep line must read `dep <module>: [<module>...]`");
+      }
+      std::string module = words[1].substr(0, words[1].size() - 1);
+      std::vector<std::string> targets(words.begin() + 2, words.end());
+      std::sort(targets.begin(), targets.end());
+      if (m.deps.count(module)) fail("duplicate dep line for " + module);
+      m.deps.emplace(std::move(module), std::move(targets));
+      continue;
+    }
+    fail("unrecognized directive `" + words[0] + "`");
+  }
+
+  // Validation: the manifest must itself describe a legal architecture.
+  std::map<std::string, int> layer_index;
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    for (const auto& module : m.layers[i]) {
+      if (!layer_index.emplace(module, static_cast<int>(i)).second) {
+        throw std::runtime_error("layers.manifest: module " + module +
+                                 " declared in two layers");
+      }
+    }
+  }
+  for (const auto& [module, targets] : m.deps) {
+    const auto it = layer_index.find(module);
+    if (it == layer_index.end()) {
+      throw std::runtime_error("layers.manifest: dep module " + module +
+                               " is not in any layer");
+    }
+    for (const auto& target : targets) {
+      const auto jt = layer_index.find(target);
+      if (jt == layer_index.end()) {
+        throw std::runtime_error("layers.manifest: dep target " + target +
+                                 " of " + module + " is not in any layer");
+      }
+      if (jt->second > it->second) {
+        throw std::runtime_error(
+            "layers.manifest: dep " + module + " -> " + target +
+            " points up the layer stack (layer " +
+            std::to_string(it->second) + " -> " +
+            std::to_string(jt->second) + ")");
+      }
+    }
+  }
+  // Acyclicity of the dep graph (same-layer edges could still cycle).
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& module) {
+        state[module] = 1;
+        const auto it = m.deps.find(module);
+        if (it != m.deps.end()) {
+          for (const auto& target : it->second) {
+            if (state[target] == 1) {
+              throw std::runtime_error(
+                  "layers.manifest: dep cycle through " + module + " -> " +
+                  target);
+            }
+            if (state[target] == 0) visit(target);
+          }
+        }
+        state[module] = 2;
+      };
+  for (const auto& [module, targets] : m.deps) {
+    if (state[module] == 0) visit(module);
+  }
+  return m;
+}
+
+std::string Manifest::serialize() const {
+  std::string out = kManifestHeader;
+  for (const auto& layer : layers) {
+    out += "layer";
+    for (const auto& module : layer) out += " " + module;
+    out += "\n";
+  }
+  for (const auto& layer : layers) {
+    for (const auto& module : layer) {
+      out += "dep " + module + ":";
+      const auto it = deps.find(module);
+      if (it != deps.end()) {
+        for (const auto& target : it->second) out += " " + target;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+int Manifest::layer_of(std::string_view module) const {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    for (const auto& m : layers[i]) {
+      if (m == module) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string IncludeGraph::module_of(std::string_view relpath) {
+  if (!relpath.starts_with("src/")) return {};
+  const std::string_view rest = relpath.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+void IncludeGraph::add_file(const std::string& relpath,
+                            const std::vector<srcscan::Token>& tokens) {
+  files_.insert(relpath);
+  auto& raw = raw_[relpath];
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    using srcscan::TokKind;
+    if (tokens[i].kind == TokKind::kPunct && tokens[i].text == "#" &&
+        tokens[i + 1].kind == TokKind::kIdent &&
+        tokens[i + 1].text == "include" &&
+        tokens[i + 2].kind == TokKind::kString) {
+      raw.push_back({tokens[i + 2].text, tokens[i + 2].line});
+    }
+  }
+}
+
+void IncludeGraph::resolve() {
+  edges_.clear();
+  for (const auto& [from, raws] : raw_) {
+    for (const auto& inc : raws) {
+      // Project includes are rooted at src/; the tools trees use plain
+      // same-directory includes. Unresolved targets are external headers.
+      std::string target = "src/" + inc.target;
+      if (!files_.count(target)) {
+        const std::string dir = dirname_of(from);
+        target = dir.empty() ? inc.target : dir + "/" + inc.target;
+        if (!files_.count(target)) continue;
+      }
+      edges_.push_back({from, target, inc.line});
+    }
+  }
+}
+
+std::map<std::string, std::set<std::string>> IncludeGraph::module_deps()
+    const {
+  std::map<std::string, std::set<std::string>> deps;
+  for (const auto& file : files_) {
+    const std::string module = module_of(file);
+    if (!module.empty()) deps[module];  // modules with no deps still exist
+  }
+  for (const auto& edge : edges_) {
+    const std::string from = module_of(edge.from_file);
+    const std::string to = module_of(edge.to_file);
+    if (from.empty() || to.empty() || from == to) continue;
+    deps[from].insert(to);
+  }
+  return deps;
+}
+
+std::vector<Finding> IncludeGraph::check_layers(
+    const Manifest& manifest) const {
+  std::vector<Finding> findings;
+  // First witness (file, line) per module edge, deterministic because
+  // edges_ derives from the sorted raw_ map.
+  std::map<std::pair<std::string, std::string>, const IncludeEdge*> witness;
+  for (const auto& edge : edges_) {
+    const std::string from = module_of(edge.from_file);
+    const std::string to = module_of(edge.to_file);
+    if (from.empty() || to.empty() || from == to) continue;
+    witness.emplace(std::make_pair(from, to), &edge);
+  }
+
+  std::set<std::string> unknown_reported;
+  const auto report_unknown = [&](const std::string& module,
+                                  const std::string& file, int line) {
+    if (!unknown_reported.insert(module).second) return;
+    findings.push_back(
+        {file, line, "layer-unknown",
+         "module '" + module +
+             "' is not declared in layers.manifest; add it to a layer "
+             "line"});
+  };
+
+  for (const auto& file : files_) {
+    const std::string module = module_of(file);
+    if (!module.empty() && manifest.layer_of(module) < 0) {
+      report_unknown(module, file, 1);
+    }
+  }
+
+  for (const auto& [key, edge] : witness) {
+    const auto& [from, to] = key;
+    const int from_layer = manifest.layer_of(from);
+    const int to_layer = manifest.layer_of(to);
+    if (from_layer < 0) {
+      report_unknown(from, edge->from_file, edge->line);
+      continue;
+    }
+    if (to_layer < 0) {
+      report_unknown(to, edge->from_file, edge->line);
+      continue;
+    }
+    if (to_layer > from_layer) {
+      findings.push_back(
+          {edge->from_file, edge->line, "layer-order",
+           "module '" + from + "' (layer " + std::to_string(from_layer) +
+               ") includes '" + to + "' (layer " + std::to_string(to_layer) +
+               "): dependencies must not point up the layer stack"});
+      continue;
+    }
+    const auto it = manifest.deps.find(from);
+    const bool listed =
+        it != manifest.deps.end() &&
+        std::find(it->second.begin(), it->second.end(), to) !=
+            it->second.end();
+    if (!listed) {
+      findings.push_back(
+          {edge->from_file, edge->line, "layer-edge",
+           "include edge " + from + " -> " + to +
+               " is not declared in layers.manifest; regenerate with "
+               "`rac_analyze --write-manifest` if the edge is intended"});
+    }
+  }
+
+  // Module-level cycles in the observed graph (a module cycle need not be
+  // a file cycle: core/a.hpp -> baselines/x.hpp and baselines/y.hpp ->
+  // core/b.hpp cycles the modules with no file-level loop).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, edge] : witness) adj[key.first].push_back(key.second);
+  std::map<std::string, int> state;
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& module) {
+        state[module] = 1;
+        stack.push_back(module);
+        for (const auto& next : adj[module]) {
+          if (state[next] == 1) {
+            std::string path = next;
+            for (auto it = std::find(stack.begin(), stack.end(), next);
+                 it != stack.end(); ++it) {
+              if (*it != next) path += " -> " + *it;
+            }
+            path += " -> " + next;
+            const IncludeEdge* edge = witness.at({module, next});
+            findings.push_back({edge->from_file, edge->line, "layer-cycle",
+                                "module dependency cycle: " + path});
+          } else if (state[next] == 0) {
+            visit(next);
+          }
+        }
+        stack.pop_back();
+        state[module] = 2;
+      };
+  for (const auto& [module, targets] : adj) {
+    if (state[module] == 0) visit(module);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> IncludeGraph::find_cycles() const {
+  // DFS over the file graph in sorted order; every back edge closes one
+  // cycle and yields one finding at the offending #include.
+  std::map<std::string, std::vector<const IncludeEdge*>> adj;
+  for (const auto& edge : edges_) adj[edge.from_file].push_back(&edge);
+
+  std::vector<Finding> findings;
+  std::map<std::string, int> state;
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& file) {
+        state[file] = 1;
+        stack.push_back(file);
+        for (const IncludeEdge* edge : adj[file]) {
+          if (state[edge->to_file] == 1) {
+            std::string path = edge->to_file;
+            for (auto it =
+                     std::find(stack.begin(), stack.end(), edge->to_file);
+                 it != stack.end(); ++it) {
+              if (*it != edge->to_file) path += " -> " + *it;
+            }
+            path += " -> " + edge->to_file;
+            findings.push_back({edge->from_file, edge->line, "include-cycle",
+                                "include cycle: " + path});
+          } else if (state[edge->to_file] == 0) {
+            visit(edge->to_file);
+          }
+        }
+        stack.pop_back();
+        state[file] = 2;
+      };
+  for (const auto& file : files_) {
+    if (state[file] == 0) visit(file);
+  }
+  return findings;
+}
+
+std::string regenerate_manifest(
+    const Manifest& manifest,
+    const std::map<std::string, std::set<std::string>>& observed) {
+  Manifest regenerated;
+  regenerated.layers = manifest.layers;
+  for (const auto& [module, targets] : observed) {
+    regenerated.deps[module] =
+        std::vector<std::string>(targets.begin(), targets.end());
+  }
+  return regenerated.serialize();
+}
+
+}  // namespace rac::analyze

@@ -1,0 +1,110 @@
+// Include/layer-graph analysis for rac-analyze.
+//
+// Parses quoted #include directives out of the token stream of every
+// analyzed file, resolves them against the file set (project includes are
+// rooted at src/, with a same-directory fallback for the tools trees),
+// and checks the resulting graph two ways:
+//
+//   include-cycle  a cycle among project files at file granularity.
+//   layer-*        the module-level DAG of src/ (module = first path
+//                  component under src/) against the checked-in layering
+//                  manifest tools/analyze/layers.manifest: unknown
+//                  modules, edges pointing up the layer stack, edges not
+//                  declared in the manifest, and module-level cycles.
+//
+// The manifest is both policy (the `layer` ordering) and a golden record
+// (the `dep` edge list): architectural drift shows up as a one-line
+// manifest diff in review rather than as silent coupling growth.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tokenizer.hpp"
+
+namespace rac::analyze {
+
+struct Finding {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Parsed layers.manifest: `layer` lines order module groups bottom to
+/// top; `dep` lines enumerate the allowed module-level include edges.
+struct Manifest {
+  /// layers[i] holds the modules of layer i, bottom (0) first.
+  std::vector<std::vector<std::string>> layers;
+  /// module -> sorted list of modules it may include.
+  std::map<std::string, std::vector<std::string>> deps;
+
+  /// Throws std::runtime_error on malformed text, modules missing from
+  /// the layer lines, dep edges pointing up the layer stack, or a cyclic
+  /// dep graph: the manifest itself must describe a legal architecture.
+  static Manifest parse(const std::string& text);
+
+  /// Canonical text form (fixed header comment, `layer` lines, `dep`
+  /// lines in layer order with sorted edge lists). parse(serialize())
+  /// round-trips; the golden test compares byte-for-byte.
+  std::string serialize() const;
+
+  /// Layer index of a module, or -1 when not declared.
+  int layer_of(std::string_view module) const;
+};
+
+struct IncludeEdge {
+  std::string from_file;
+  std::string to_file;
+  int line = 0;  // line of the #include in from_file
+};
+
+class IncludeGraph {
+ public:
+  /// Register one file's token stream (quoted includes are the token
+  /// triple `#` `include` <string>). Call for every file, then resolve().
+  void add_file(const std::string& relpath,
+                const std::vector<srcscan::Token>& tokens);
+
+  /// Resolve include targets against the registered file set.
+  void resolve();
+
+  const std::vector<IncludeEdge>& edges() const { return edges_; }
+
+  /// Observed module-level dependencies of src/ files:
+  /// module -> set of distinct modules it includes.
+  std::map<std::string, std::set<std::string>> module_deps() const;
+
+  /// layer-unknown / layer-order / layer-edge / layer-cycle findings for
+  /// the observed module graph against `manifest`.
+  std::vector<Finding> check_layers(const Manifest& manifest) const;
+
+  /// include-cycle findings at file granularity.
+  std::vector<Finding> find_cycles() const;
+
+  /// Module of a repo-relative path: "util" for "src/util/rng.hpp",
+  /// "" for anything not under src/.
+  static std::string module_of(std::string_view relpath);
+
+ private:
+  struct RawInclude {
+    std::string target;  // quoted path as written
+    int line = 0;
+  };
+
+  std::set<std::string> files_;
+  std::map<std::string, std::vector<RawInclude>> raw_;
+  std::vector<IncludeEdge> edges_;
+};
+
+/// Canonical manifest text with `layer` lines taken from `manifest` and
+/// `dep` lines regenerated from the observed module graph. Drift repair is
+/// `rac_analyze --write-manifest > tools/analyze/layers.manifest`.
+std::string regenerate_manifest(
+    const Manifest& manifest,
+    const std::map<std::string, std::set<std::string>>& observed);
+
+}  // namespace rac::analyze

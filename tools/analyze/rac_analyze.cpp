@@ -1,0 +1,157 @@
+// rac-analyze driver. Run as a ctest (`ctest -R rac_analyze`) or by hand:
+//
+//   rac_analyze [--root DIR] [--manifest FILE] [--report FILE]
+//               [--sarif FILE] [--list-rules] [--write-manifest] [path...]
+//
+// Paths are directories (analyzed recursively as one cross-file unit) or
+// single files, relative to --root (default: current directory; CI passes
+// the repo root). With no paths, analyzes src/. --manifest defaults to
+// tools/analyze/layers.manifest under --root; pass `none` to skip the
+// layer rules. --write-manifest prints the canonical manifest regenerated
+// from the observed include graph (layer policy kept from the existing
+// manifest) and exits. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze_core.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rac_analyze [--root DIR] [--manifest FILE|none]"
+               " [--report FILE] [--sarif FILE] [--list-rules]"
+               " [--write-manifest] [path...]\n";
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& contents,
+                const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "rac-analyze: cannot write " << what << " to " << path
+              << "\n";
+    return false;
+  }
+  out << contents << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string manifest_path;
+  std::string report;
+  std::string sarif;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+  bool write_manifest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage();
+      root = argv[i];
+    } else if (arg == "--manifest") {
+      if (++i >= argc) return usage();
+      manifest_path = argv[i];
+    } else if (arg == "--report") {
+      if (++i >= argc) return usage();
+      report = argv[i];
+    } else if (arg == "--sarif") {
+      if (++i >= argc) return usage();
+      sarif = argv[i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--write-manifest") {
+      write_manifest = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : rac::analyze::rules()) {
+      std::cout << rule.id << "\t" << rule.summary << "\n";
+    }
+    return 0;
+  }
+
+  if (paths.empty()) paths.push_back("src");
+  if (manifest_path.empty()) {
+    manifest_path = root + "/tools/analyze/layers.manifest";
+  }
+
+  rac::analyze::Manifest manifest;
+  bool have_manifest = false;
+  if (manifest_path != "none") {
+    std::ifstream in(manifest_path);
+    if (!in) {
+      std::cerr << "rac-analyze: cannot open manifest " << manifest_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      manifest = rac::analyze::Manifest::parse(buffer.str());
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    have_manifest = true;
+  }
+
+  std::vector<rac::analyze::SourceFile> files;
+  try {
+    files = rac::analyze::load_tree(root, paths);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (write_manifest) {
+    if (!have_manifest) {
+      std::cerr << "rac-analyze: --write-manifest needs an existing"
+                   " manifest for the layer policy\n";
+      return 2;
+    }
+    std::cout << rac::analyze::regenerate_manifest(
+        manifest, rac::analyze::observed_module_deps(files));
+    return 0;
+  }
+
+  std::vector<rac::analyze::Finding> findings;
+  try {
+    findings = rac::analyze::analyze_sources(
+        files, have_manifest ? &manifest : nullptr);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (!report.empty() &&
+      !write_file(report, rac::analyze::to_json(findings), "report")) {
+    return 2;
+  }
+  if (!sarif.empty() &&
+      !write_file(sarif, rac::analyze::to_sarif(findings), "sarif")) {
+    return 2;
+  }
+
+  std::cout << rac::analyze::to_text(findings);
+  if (findings.empty()) {
+    std::cout << "rac-analyze: clean\n";
+    return 0;
+  }
+  std::cout << "rac-analyze: " << findings.size() << " finding(s)\n";
+  return 1;
+}

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tokenizer.hpp"
+
 namespace rac::lint {
 
 namespace {
@@ -18,99 +20,6 @@ bool path_starts_with(std::string_view path, std::string_view prefix) {
 
 bool is_header(std::string_view path) {
   return path.ends_with(".hpp") || path.ends_with(".h");
-}
-
-/// Per-file scanner state: strips comments and string/char literals from
-/// each line (replacing them with spaces so columns survive) and collects
-/// the line's comment text for suppression parsing. Block comments carry
-/// across lines; multi-line string literals are not handled (the codebase
-/// has none, and a stray one only makes the linter noisier, not quieter).
-class Stripper {
- public:
-  /// Returns the line with comments and literal contents blanked;
-  /// appends any comment text on this line to `comment_text`.
-  std::string strip(const std::string& line, std::string* comment_text) {
-    std::string out;
-    out.reserve(line.size());
-    std::size_t i = 0;
-    const std::size_t n = line.size();
-    while (i < n) {
-      if (in_block_comment_) {
-        const std::size_t end = line.find("*/", i);
-        if (end == std::string::npos) {
-          comment_text->append(line, i, n - i);
-          out.append(n - i, ' ');
-          i = n;
-        } else {
-          comment_text->append(line, i, end - i);
-          out.append(end + 2 - i, ' ');
-          i = end + 2;
-          in_block_comment_ = false;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < n && line[i + 1] == '/') {
-        comment_text->append(line, i + 2, n - i - 2);
-        out.append(n - i, ' ');
-        break;
-      }
-      if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-        in_block_comment_ = true;
-        out.append(2, ' ');
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        std::size_t j = i + 1;
-        while (j < n) {
-          if (line[j] == '\\') {
-            j += 2;
-            continue;
-          }
-          if (line[j] == quote) break;
-          ++j;
-        }
-        const std::size_t stop = std::min(j, n - 1);
-        out.append(stop - i + 1, ' ');
-        i = stop + 1;
-        continue;
-      }
-      out.push_back(c);
-      ++i;
-    }
-    return out;
-  }
-
- private:
-  bool in_block_comment_ = false;
-};
-
-/// Rules suppressed on this line via `rac-lint: allow(a, b)`.
-std::vector<std::string> parse_suppressions(const std::string& comment_text) {
-  std::vector<std::string> allowed;
-  std::size_t pos = comment_text.find("rac-lint:");
-  while (pos != std::string::npos) {
-    const std::size_t open = comment_text.find("allow(", pos);
-    if (open == std::string::npos) break;
-    const std::size_t close = comment_text.find(')', open);
-    if (close == std::string::npos) break;
-    std::string inner = comment_text.substr(open + 6, close - open - 6);
-    std::size_t start = 0;
-    while (start <= inner.size()) {
-      std::size_t comma = inner.find(',', start);
-      if (comma == std::string::npos) comma = inner.size();
-      std::string id = inner.substr(start, comma - start);
-      id.erase(0, id.find_first_not_of(" \t"));
-      const std::size_t last = id.find_last_not_of(" \t");
-      if (last != std::string::npos) id.erase(last + 1);
-      if (!id.empty()) allowed.push_back(std::move(id));
-      start = comma + 1;
-    }
-    pos = comment_text.find("rac-lint:", close);
-  }
-  return allowed;
 }
 
 struct LineRule {
@@ -149,12 +58,14 @@ const std::vector<LineRule>& line_rules() {
         {"src/core/", "src/rl/", "src/env/", "src/tiersim/",
          "src/queueing/"},
         {}});
+    // Scoped to src/: a CLI binary (tools/bench/examples) owns the
+    // process and may legitimately report from the default registry.
     r.push_back(LineRule{
         "default-registry",
         std::regex(R"(\bdefault_registry\b)"),
         "default_registry() referenced outside src/obs/; take an "
         "obs::Registry* and resolve via obs::registry_or_default",
-        {},
+        {"src/"},
         {"src/obs/"}});
     r.push_back(LineRule{
         "raw-assert",
@@ -163,12 +74,13 @@ const std::vector<LineRule>& line_rules() {
         "RAC_EXPECT/RAC_ENSURE/RAC_INVARIANT from util/contracts.hpp",
         {},
         {}});
+    // Scoped to src/: stdout IS the product of a CLI or bench binary.
     r.push_back(LineRule{
         "iostream",
         std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b)"),
         "direct console I/O in library code; report via return values, "
         "exceptions, or util::log",
-        {},
+        {"src/"},
         {"src/util/log.cpp"}});
     r.push_back(LineRule{
         "include-hygiene",
@@ -285,6 +197,8 @@ const std::vector<RuleInfo>& rules() {
       {"float-eq", "exact float comparison against a literal"},
       {"unchecked-measure",
        "raw measure() in src/core/; use try_measure or suppress"},
+      {"unused-suppression",
+       "allow() comment that suppresses no findings; remove it"},
   };
   return info;
 }
@@ -292,7 +206,8 @@ const std::vector<RuleInfo>& rules() {
 std::vector<Finding> lint_text(const std::string& relpath,
                                const std::string& contents) {
   std::vector<Finding> findings;
-  Stripper stripper;
+  const srcscan::ScanResult scanned = srcscan::scan(contents);
+  srcscan::SuppressionSet suppressions(scanned.lines, "rac-lint:");
   std::istringstream in(contents);
   std::string line;
   int line_no = 0;
@@ -301,13 +216,11 @@ std::vector<Finding> lint_text(const std::string& relpath,
 
   while (std::getline(in, line)) {
     ++line_no;
-    std::string comment_text;
-    const std::string code = stripper.strip(line, &comment_text);
-    const auto allowed = parse_suppressions(comment_text);
-    const auto is_allowed = [&](std::string_view rule_id) {
-      return std::find(allowed.begin(), allowed.end(), rule_id) !=
-             allowed.end();
-    };
+    static const std::string kEmpty;
+    const std::string& code =
+        line_no <= static_cast<int>(scanned.lines.size())
+            ? scanned.lines[line_no - 1].code
+            : kEmpty;
 
     const bool blank =
         code.find_first_not_of(" \t\r") == std::string::npos;
@@ -324,7 +237,7 @@ std::vector<Finding> lint_text(const std::string& relpath,
       auto begin =
           std::sregex_iterator(target.begin(), target.end(), rule.pattern);
       for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        if (is_allowed(rule.id)) continue;
+        if (suppressions.allowed(line_no, rule.id)) continue;
         findings.push_back(Finding{relpath, line_no, std::string(rule.id),
                                    std::string(rule.message)});
       }
@@ -332,9 +245,20 @@ std::vector<Finding> lint_text(const std::string& relpath,
   }
 
   if (is_header(relpath) && !saw_pragma_once) {
-    findings.push_back(Finding{
-        relpath, std::max(first_code_line, 1), "pragma-once",
-        "header does not open with #pragma once"});
+    const int at = std::max(first_code_line, 1);
+    if (!suppressions.allowed(at, "pragma-once")) {
+      findings.push_back(Finding{relpath, at, "pragma-once",
+                                 "header does not open with #pragma once"});
+    }
+  }
+
+  // Stale suppressions fail the build so they cannot accumulate: every
+  // allow() must be earning its keep on the line it annotates.
+  for (const auto& [at, id] : suppressions.unused()) {
+    findings.push_back(
+        Finding{relpath, at, "unused-suppression",
+                "suppression allow(" + id +
+                    ") matched no finding on this line; remove it"});
   }
   return findings;
 }

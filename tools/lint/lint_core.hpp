@@ -18,9 +18,11 @@
 //   raw-assert        assert( in library code -- compiled out under
 //                     NDEBUG; use the RAC_EXPECT/RAC_ENSURE/RAC_INVARIANT
 //                     contract macros instead.
-//   iostream          std::cout / std::cerr / std::clog in library code
-//                     (src/util/log.cpp excepted) -- libraries report via
-//                     return values, exceptions, and util::log.
+//   iostream          std::cout / std::cerr / std::clog in src/ library
+//                     code (src/util/log.cpp excepted) -- libraries report
+//                     via return values, exceptions, and util::log. CLI
+//                     binaries under tools/, bench/, and examples/ own
+//                     their stdout and are exempt.
 //   pragma-once       every header must open with #pragma once before any
 //                     code.
 //   include-hygiene   quoted includes must not path-traverse ("../") --
@@ -35,13 +37,22 @@
 //                     (flat tables, slot arenas); cold-path sites carry a
 //                     justified suppression.
 //
+//   unused-suppression
+//                     an allow() comment that suppressed no finding on its
+//                     line. Stale suppressions read as justified
+//                     exemptions long after the code they excused is gone,
+//                     so they fail the build instead of accumulating.
+//
 // Findings on a line carrying `// rac-lint: allow(<rule>[, <rule>...])`
 // are suppressed for the named rules only; suppressions are expected to
 // carry a justification in the same comment.
 //
-// The checker is deliberately line/token based (comments and string
-// literals are stripped first): it is fast, has zero dependencies, and
-// the rules it enforces are lexically recognizable by construction.
+// The checker is deliberately line/token based: it is fast, has zero
+// dependencies, and the rules it enforces are lexically recognizable by
+// construction. Comment/string stripping (including raw string literals
+// and backslash line continuations) comes from the srcscan tokenizer
+// shared with rac-analyze, which layers real cross-file and scope-aware
+// analyses on the same front end.
 #pragma once
 
 #include <filesystem>

@@ -1,0 +1,410 @@
+#include "tokenizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace rac::srcscan {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Encoding prefixes that may introduce a raw string literal when followed
+/// directly by a double quote.
+bool raw_string_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+// Multi-character operators, longest first within each length class.
+constexpr std::array<std::string_view, 3> kPunct3 = {"<<=", ">>=", "..."};
+constexpr std::array<std::string_view, 20> kPunct2 = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  ScanResult run() {
+    while (i_ < text_.size()) step();
+    return std::move(res_);
+  }
+
+ private:
+  Line& line(int ln) {
+    while (static_cast<int>(res_.lines.size()) < ln) res_.lines.push_back({});
+    return res_.lines[ln - 1];
+  }
+
+  void code_char(char c) { line(ln_).code.push_back(c); }
+  void blank(std::size_t n) { line(ln_).code.append(n, ' '); }
+  void comment_char(char c) { line(ln_).comment.push_back(c); }
+
+  void newline() {
+    line(ln_);  // materialize the line even if empty
+    ++ln_;
+    ++i_;
+  }
+
+  /// True when the character before index `at` (skipping one \r) is a
+  /// backslash, i.e. the newline at `at` is escaped.
+  bool escaped_newline_before(std::size_t at) const {
+    std::size_t back = at;
+    if (back > 0 && text_[back - 1] == '\r') --back;
+    return back > 0 && text_[back - 1] == '\\';
+  }
+
+  void step() {
+    const char c = text_[i_];
+    if (c == '\n') {
+      newline();
+      return;
+    }
+    if (c == '/' && i_ + 1 < text_.size() && text_[i_ + 1] == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && i_ + 1 < text_.size() && text_[i_ + 1] == '*') {
+      block_comment();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (is_digit(c) ||
+        (c == '.' && i_ + 1 < text_.size() && is_digit(text_[i_ + 1]))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal(ln_);
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    if (c == '\\' && i_ + 1 < text_.size() &&
+        (text_[i_ + 1] == '\n' ||
+         (text_[i_ + 1] == '\r' && i_ + 2 < text_.size() &&
+          text_[i_ + 2] == '\n'))) {
+      // Line continuation in code: the splice itself is whitespace.
+      blank(1);
+      ++i_;
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      code_char(c);
+      ++i_;
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    blank(2);
+    i_ += 2;
+    while (i_ < text_.size()) {
+      if (text_[i_] == '\n') {
+        const bool continued = escaped_newline_before(i_);
+        newline();
+        if (!continued) return;
+        continue;  // the next physical line is still comment text
+      }
+      comment_char(text_[i_]);
+      blank(1);
+      ++i_;
+    }
+  }
+
+  void block_comment() {
+    blank(2);
+    i_ += 2;
+    while (i_ < text_.size()) {
+      if (text_[i_] == '\n') {
+        newline();
+        continue;
+      }
+      if (text_[i_] == '*' && i_ + 1 < text_.size() &&
+          text_[i_ + 1] == '/') {
+        blank(2);
+        i_ += 2;
+        return;
+      }
+      comment_char(text_[i_]);
+      blank(1);
+      ++i_;
+    }
+  }
+
+  void identifier() {
+    const int start_line = ln_;
+    std::string id;
+    while (i_ < text_.size() && ident_char(text_[i_])) {
+      id.push_back(text_[i_]);
+      ++i_;
+    }
+    if (raw_string_prefix(id) && i_ < text_.size() && text_[i_] == '"') {
+      blank(id.size());  // the prefix is part of the literal
+      raw_string(start_line);
+      return;
+    }
+    for (const char c : id) code_char(c);
+    res_.tokens.push_back({TokKind::kIdent, std::move(id), start_line});
+  }
+
+  void number() {
+    const int start_line = ln_;
+    std::string num;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        num.push_back(c);
+        code_char(c);
+        ++i_;
+        continue;
+      }
+      // Exponent signs: 1e+5, 0x1p-3.
+      if ((c == '+' || c == '-') && !num.empty()) {
+        const char prev = num.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          num.push_back(c);
+          code_char(c);
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    res_.tokens.push_back({TokKind::kNumber, std::move(num), start_line});
+  }
+
+  void string_literal(int start_line) {
+    std::string contents;
+    blank(1);  // opening quote
+    ++i_;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == '\\') {
+        if (i_ + 1 < text_.size() &&
+            (text_[i_ + 1] == '\n' ||
+             (text_[i_ + 1] == '\r' && i_ + 2 < text_.size() &&
+              text_[i_ + 2] == '\n'))) {
+          // Escaped newline continues the literal on the next line.
+          blank(1);
+          ++i_;  // the backslash
+          if (text_[i_] == '\r') {
+            blank(1);
+            ++i_;
+          }
+          newline();
+          continue;
+        }
+        contents.push_back(c);
+        blank(1);
+        ++i_;
+        if (i_ < text_.size() && text_[i_] != '\n') {
+          contents.push_back(text_[i_]);
+          blank(1);
+          ++i_;
+        }
+        continue;
+      }
+      if (c == '"') {
+        blank(1);
+        ++i_;
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      contents.push_back(c);
+      blank(1);
+      ++i_;
+    }
+    res_.tokens.push_back(
+        {TokKind::kString, std::move(contents), start_line});
+  }
+
+  void raw_string(int start_line) {
+    // At entry i_ points at the opening quote of R"delim( ... )delim".
+    blank(1);
+    ++i_;
+    std::string delim;
+    while (i_ < text_.size() && text_[i_] != '(' && text_[i_] != '\n') {
+      delim.push_back(text_[i_]);
+      blank(1);
+      ++i_;
+    }
+    if (i_ < text_.size() && text_[i_] == '(') {
+      blank(1);
+      ++i_;
+    }
+    const std::string close = ")" + delim + "\"";
+    std::string contents;
+    while (i_ < text_.size()) {
+      if (text_.compare(i_, close.size(), close) == 0) {
+        blank(close.size());
+        i_ += close.size();
+        break;
+      }
+      if (text_[i_] == '\n') {
+        contents.push_back('\n');
+        newline();
+        continue;
+      }
+      contents.push_back(text_[i_]);
+      blank(1);
+      ++i_;
+    }
+    res_.tokens.push_back(
+        {TokKind::kString, std::move(contents), start_line});
+  }
+
+  void char_literal() {
+    const int start_line = ln_;
+    std::string contents;
+    blank(1);
+    ++i_;
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == '\\' && i_ + 1 < text_.size()) {
+        contents.push_back(c);
+        contents.push_back(text_[i_ + 1]);
+        blank(2);
+        i_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        blank(1);
+        ++i_;
+        break;
+      }
+      if (c == '\n') break;
+      contents.push_back(c);
+      blank(1);
+      ++i_;
+    }
+    res_.tokens.push_back(
+        {TokKind::kCharLit, std::move(contents), start_line});
+  }
+
+  void punct() {
+    const int start_line = ln_;
+    for (const auto& op : kPunct3) {
+      if (text_.compare(i_, op.size(), op) == 0) {
+        for (const char c : op) code_char(c);
+        i_ += op.size();
+        res_.tokens.push_back({TokKind::kPunct, std::string(op), start_line});
+        return;
+      }
+    }
+    for (const auto& op : kPunct2) {
+      if (text_.compare(i_, op.size(), op) == 0) {
+        for (const char c : op) code_char(c);
+        i_ += op.size();
+        res_.tokens.push_back({TokKind::kPunct, std::string(op), start_line});
+        return;
+      }
+    }
+    code_char(text_[i_]);
+    res_.tokens.push_back(
+        {TokKind::kPunct, std::string(1, text_[i_]), start_line});
+    ++i_;
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  int ln_ = 1;
+  ScanResult res_;
+};
+
+bool looks_like_rule_id(const std::string& id) {
+  if (id.empty() || !std::islower(static_cast<unsigned char>(id[0]))) {
+    return false;
+  }
+  return std::all_of(id.begin(), id.end(), [](char c) {
+    return std::islower(static_cast<unsigned char>(c)) ||
+           std::isdigit(static_cast<unsigned char>(c)) || c == '-';
+  });
+}
+
+}  // namespace
+
+ScanResult scan(const std::string& contents) {
+  return Scanner(contents).run();
+}
+
+std::vector<std::string> parse_allow(const std::string& comment,
+                                     std::string_view marker) {
+  std::vector<std::string> allowed;
+  std::size_t pos = comment.find(marker);
+  while (pos != std::string::npos) {
+    const std::size_t open = comment.find("allow(", pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string inner = comment.substr(open + 6, close - open - 6);
+    std::size_t start = 0;
+    while (start <= inner.size()) {
+      std::size_t comma = inner.find(',', start);
+      if (comma == std::string::npos) comma = inner.size();
+      std::string id = inner.substr(start, comma - start);
+      id.erase(0, id.find_first_not_of(" \t"));
+      const std::size_t last = id.find_last_not_of(" \t");
+      if (last != std::string::npos) id.erase(last + 1);
+      if (!id.empty()) allowed.push_back(std::move(id));
+      start = comma + 1;
+    }
+    pos = comment.find(marker, close);
+  }
+  return allowed;
+}
+
+SuppressionSet::SuppressionSet(const std::vector<Line>& lines,
+                               std::string_view marker) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].comment.empty()) continue;
+    for (auto& id : parse_allow(lines[i].comment, marker)) {
+      entries_.push_back({static_cast<int>(i) + 1, std::move(id), false});
+    }
+  }
+}
+
+bool SuppressionSet::allowed(int line, std::string_view rule) {
+  bool any = false;
+  for (auto& entry : entries_) {
+    if (entry.line == line && entry.id == rule) {
+      entry.used = true;
+      any = true;
+    }
+  }
+  return any;
+}
+
+std::vector<std::pair<int, std::string>> SuppressionSet::unused() const {
+  std::vector<std::pair<int, std::string>> out;
+  for (const auto& entry : entries_) {
+    if (entry.used || entry.id == "unused-suppression") continue;
+    if (!looks_like_rule_id(entry.id)) continue;
+    const bool line_exempt = std::any_of(
+        entries_.begin(), entries_.end(), [&](const Entry& other) {
+          return other.line == entry.line &&
+                 other.id == "unused-suppression";
+        });
+    if (line_exempt) continue;
+    out.emplace_back(entry.line, entry.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rac::srcscan
