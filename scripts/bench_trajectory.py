@@ -55,6 +55,7 @@ SUITE = [
     "bench_micro",
     "bench_parallel_init",
     "bench_fault_robustness",
+    "bench_fleet_scale",
 ]
 
 PHASE_GATE_RATIO = 1.25      # fail a gated phase at +25% over baseline

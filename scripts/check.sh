@@ -16,6 +16,12 @@
 #               `fault` -- a cheap focused pass for the injection decorator
 #               and degradation paths when the full RAC_SAN sweep is too
 #               slow for the pipeline.
+#   RAC_FLEET_SMOKE=1 fleet smoke: run the fleet-scale bench in quick
+#               mode (256 tenants through a mid-run context switch, serial
+#               vs 4-thread). The binary exits non-zero when the two runs'
+#               decision digests or fleet checkpoints differ, so this
+#               phase is a fast standalone determinism gate for the
+#               sharded control plane.
 #   RAC_BENCH_SMOKE=1 bench smoke: run the gated bench suite in quick
 #               mode with RAC_BENCH_REPORT on (scripts/bench_trajectory.py
 #               sweep) and print the aggregated entry. Catches benches
@@ -61,6 +67,10 @@ if [[ "${RAC_FAULT_SAN:-0}" == "1" ]]; then
   cmake -B "$FAULT_SAN_DIR" -S . -DRAC_WERROR=ON -DRAC_ASAN=ON -DRAC_UBSAN=ON
   cmake --build "$FAULT_SAN_DIR" -j "$(nproc)" --target fault_tests
   ctest --test-dir "$FAULT_SAN_DIR" --output-on-failure -L fault
+fi
+
+if [[ "${RAC_FLEET_SMOKE:-0}" == "1" ]]; then
+  RAC_BENCH_QUICK=1 "$BUILD_DIR"/bench/bench_fleet_scale
 fi
 
 if [[ "${RAC_BENCH_SMOKE:-0}" == "1" ]]; then

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/pool.hpp"
@@ -11,13 +12,27 @@
 namespace rac::core {
 
 void InitialPolicyLibrary::add(InitialPolicy policy) {
-  policies_.push_back(std::move(policy));
+  if (policies_ == nullptr) {
+    policies_ = std::make_shared<std::vector<InitialPolicy>>();
+  } else if (policies_.use_count() > 1) {
+    // Someone else shares this storage: clone before mutating so their
+    // view stays frozen (and stays safe to read concurrently).
+    policies_ = std::make_shared<std::vector<InitialPolicy>>(*policies_);
+  }
+  policies_->push_back(std::move(policy));
+}
+
+const InitialPolicy& InitialPolicyLibrary::at(std::size_t i) const {
+  if (policies_ == nullptr) {
+    throw std::out_of_range("InitialPolicyLibrary::at: empty library");
+  }
+  return policies_->at(i);
 }
 
 std::optional<std::size_t> InitialPolicyLibrary::find_context(
     const env::SystemContext& context) const {
-  for (std::size_t i = 0; i < policies_.size(); ++i) {
-    if (policies_[i].context == context) return i;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if ((*policies_)[i].context == context) return i;
   }
   return std::nullopt;
 }
@@ -25,7 +40,7 @@ std::optional<std::size_t> InitialPolicyLibrary::find_context(
 std::optional<std::size_t> InitialPolicyLibrary::best_match(
     const config::Configuration& configuration,
     double measured_response_ms) const {
-  if (policies_.empty()) return std::nullopt;
+  if (empty()) return std::nullopt;
   // Guard log() against zero/negative inputs only. An earlier version
   // clamped to 1.0 ms, which collapsed every sub-millisecond surface to
   // the same score and silently resolved those "ties" to policy 0; the
@@ -33,9 +48,9 @@ std::optional<std::size_t> InitialPolicyLibrary::best_match(
   constexpr double kFloorMs = 1e-9;
   std::size_t best = 0;
   double best_score = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < policies_.size(); ++i) {
+  for (std::size_t i = 0; i < size(); ++i) {
     const double predicted =
-        policies_[i].predict_response_ms(configuration);
+        (*policies_)[i].predict_response_ms(configuration);
     // Relative mismatch in log space: symmetric between over- and
     // under-prediction.
     const double score =

@@ -19,15 +19,30 @@
 
 namespace rac::core {
 
+/// Copies share one immutable policy vector (copy-on-write): a fleet hands
+/// the same library to thousands of agents for the cost of a shared_ptr
+/// each, and the storage is cloned only when someone add()s to a shared
+/// copy. Reads on shared storage are thread-safe; add() on any one copy is
+/// not and must be externally serialized with concurrent readers of that
+/// same object (readers of *other* copies are unaffected -- they keep the
+/// old storage).
 class InitialPolicyLibrary {
  public:
   InitialPolicyLibrary() = default;
 
   void add(InitialPolicy policy);
 
-  std::size_t size() const noexcept { return policies_.size(); }
-  bool empty() const noexcept { return policies_.empty(); }
-  const InitialPolicy& at(std::size_t i) const { return policies_.at(i); }
+  std::size_t size() const noexcept {
+    return policies_ == nullptr ? 0 : policies_->size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  const InitialPolicy& at(std::size_t i) const;
+
+  /// True when both objects point at the same underlying storage (so one
+  /// held no copy cost). An empty library shares with nothing.
+  bool shares_storage_with(const InitialPolicyLibrary& other) const noexcept {
+    return policies_ != nullptr && policies_ == other.policies_;
+  }
 
   /// Index of the policy trained for exactly `context`, if any.
   std::optional<std::size_t> find_context(
@@ -41,7 +56,7 @@ class InitialPolicyLibrary {
       double measured_response_ms) const;
 
  private:
-  std::vector<InitialPolicy> policies_;
+  std::shared_ptr<std::vector<InitialPolicy>> policies_;
 };
 
 /// Convenience: train one policy per context on freshly-constructed

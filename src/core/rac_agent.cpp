@@ -403,6 +403,22 @@ bool RacAgent::save_state(std::ostream& os) const {
   return true;
 }
 
+void RacAgent::rebase_library(InitialPolicyLibrary library) {
+  if (library.size() != library_.size()) {
+    throw std::invalid_argument(
+        "RacAgent::rebase_library: replacement library size differs");
+  }
+  for (std::size_t i = 0; i < library_.size(); ++i) {
+    if (!(library.at(i).context == library_.at(i).context)) {
+      throw std::invalid_argument(
+          "RacAgent::rebase_library: context mismatch at policy " +
+          std::to_string(i) + " ('" + env::context_token(library.at(i).context) +
+          "' vs '" + env::context_token(library_.at(i).context) + "')");
+    }
+  }
+  library_ = std::move(library);
+}
+
 void RacAgent::annotate(obs::TraceEvent& event) const {
   event.action = last_selection_.action.to_string();
   event.explored = last_selection_.explored;

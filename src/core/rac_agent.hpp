@@ -127,7 +127,17 @@ class RacAgent : public ConfigAgent {
   /// ConfigAgent checkpoint hook: serializes snapshot(). Always true.
   bool save_state(std::ostream& os) const override;
 
+  /// Swap in a refreshed copy of the policy library (fleet cross-tenant
+  /// retraining publishes one shared COW library to every agent this way).
+  /// The replacement must be shape-compatible: same size, same context per
+  /// index -- only the trained content may differ. The live Q-table and
+  /// active-policy index are untouched; the new surfaces/tables take
+  /// effect at the next policy switch. Throws std::invalid_argument on a
+  /// shape mismatch.
+  void rebase_library(InitialPolicyLibrary library);
+
   // -- introspection (tests, harness commentary) ---------------------------
+  const InitialPolicyLibrary& library() const noexcept { return library_; }
   const rl::QTable& qtable() const noexcept { return qtable_; }
   const config::Configuration& current() const noexcept { return current_; }
   std::optional<std::size_t> active_policy() const noexcept {

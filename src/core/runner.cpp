@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -18,7 +19,10 @@ double AgentTrace::mean_response_ms(int from, int to) const {
   if (to < 0) to = static_cast<int>(records.size());
   from = std::max(0, from);
   to = std::min(to, static_cast<int>(records.size()));
-  if (from >= to) return 0.0;
+  // No records in range: there is no mean. NaN (not 0) so that a caller
+  // averaging per-segment means cannot silently dilute its aggregate with
+  // fabricated perfect-latency intervals.
+  if (from >= to) return std::numeric_limits<double>::quiet_NaN();
   double total = 0.0;
   for (int i = from; i < to; ++i) {
     total += records[static_cast<std::size_t>(i)].response_ms;
@@ -92,6 +96,9 @@ int AgentTrace::settled_iteration(int from, int to, int window,
 AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
                      const ContextSchedule& schedule, int iterations,
                      const RunOptions& options) {
+  if (!schedule.empty() && schedule.front().start_iteration < 0) {
+    throw std::invalid_argument("run_agent: negative schedule start_iteration");
+  }
   for (std::size_t i = 1; i < schedule.size(); ++i) {
     if (schedule[i].start_iteration <= schedule[i - 1].start_iteration) {
       throw std::invalid_argument("run_agent: schedule not sorted");

@@ -19,7 +19,9 @@ struct ScheduleEntry {
   env::SystemContext context;
 };
 
-/// Entries must be sorted by start_iteration; the first should start at 0.
+/// Entries must be non-negative and strictly increasing in
+/// start_iteration (run_agent validates and throws std::invalid_argument
+/// otherwise); the first conventionally starts at 0.
 using ContextSchedule = std::vector<ScheduleEntry>;
 
 struct IterationRecord {
@@ -34,7 +36,12 @@ struct AgentTrace {
   std::string agent;
   std::vector<IterationRecord> records;
 
-  /// Mean response time over iterations [from, to).
+  /// Mean response time over records [from, to) (indices into `records`,
+  /// clamped to the trace; `to` == -1 means end of trace). An empty or
+  /// inverted range -- from >= to after clamping, including any range on
+  /// an empty trace -- has no mean and returns quiet NaN; callers
+  /// aggregating per-segment means (the fleet layer does, per tenant)
+  /// must check std::isnan rather than fold a fabricated 0 into averages.
   double mean_response_ms(int from = 0, int to = -1) const;
 
   /// First iteration >= `from` after which every response time up to `to`

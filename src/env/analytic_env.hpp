@@ -99,6 +99,12 @@ class AnalyticEnv : public Environment {
 
   const AnalyticEnvOptions& options() const noexcept { return opt_; }
 
+  /// The measurement-noise Rng is the env's only mutable state; exposing
+  /// it lets a fleet checkpoint capture a live environment exactly and
+  /// resume measure() streams bit-identically.
+  util::RngState noise_state() const noexcept { return rng_.state(); }
+  void restore_noise_state(const util::RngState& state) { rng_.restore(state); }
+
  private:
   SystemContext ctx_;
   AnalyticEnvOptions opt_;

@@ -1,9 +1,13 @@
 #include "fault/fault_env.hpp"
 
+#include <array>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/lineio.hpp"
 #include "util/rng.hpp"
 
 namespace rac::fault {
@@ -228,6 +232,59 @@ void FaultyEnv::restore(const FaultyEnvState& state) {
     throw std::invalid_argument("FaultyEnv::restore: negative interval");
   }
   state_ = state;
+}
+
+void save_faulty_env_state(std::ostream& os, const FaultyEnvState& state) {
+  os << "interval " << util::format_i64(state.interval) << "\n";
+  os << "has_last_reported " << (state.has_last_reported ? 1 : 0) << "\n";
+  os << "last_reported " << util::format_double(state.last_reported.response_ms)
+     << " " << util::format_double(state.last_reported.throughput_rps) << "\n";
+  os << "has_applied " << (state.has_applied ? 1 : 0) << "\n";
+  os << "applied";
+  for (const int v : state.applied_configuration.values()) {
+    os << " " << util::format_i64(v);
+  }
+  os << "\n";
+}
+
+FaultyEnvState load_faulty_env_state(std::istream& is) {
+  FaultyEnvState state;
+  util::expect_token(is, "interval", "faulty-env state");
+  state.interval =
+      util::parse_int(util::read_token(is, "interval"), "interval");
+  if (state.interval < 0) {
+    throw std::runtime_error("faulty-env state: negative interval");
+  }
+  const auto read_bool = [&is](const char* label) {
+    util::expect_token(is, label, "faulty-env state");
+    const std::string token = util::read_token(is, label);
+    if (token == "1") return true;
+    if (token == "0") return false;
+    throw std::runtime_error(std::string("faulty-env state: ") + label +
+                             " must be 0 or 1");
+  };
+  state.has_last_reported = read_bool("has_last_reported");
+  util::expect_token(is, "last_reported", "faulty-env state");
+  state.last_reported.response_ms = util::parse_double(
+      util::read_token(is, "last_reported"), "last_reported response");
+  state.last_reported.throughput_rps = util::parse_double(
+      util::read_token(is, "last_reported"), "last_reported throughput");
+  state.has_applied = read_bool("has_applied");
+  util::expect_token(is, "applied", "faulty-env state");
+  std::array<int, config::kNumParams> values{};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = util::parse_int(util::read_token(is, "applied"), "applied");
+  }
+  // Reconstructing through the clamping constructor validates the ranges;
+  // a clamped (i.e. out-of-range) value is corrupt data, not a tolerable
+  // approximation of the run's actual state.
+  const config::Configuration reconstructed(values);
+  if (reconstructed.values() != values) {
+    throw std::runtime_error(
+        "faulty-env state: applied configuration value out of range");
+  }
+  state.applied_configuration = reconstructed;
+  return state;
 }
 
 }  // namespace rac::fault

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -123,6 +124,14 @@ struct FaultyEnvState {
   bool has_applied = false;
   config::Configuration applied_configuration{};
 };
+
+/// Serialize / parse a FaultyEnvState as labeled text tokens in the
+/// snapshot idiom (locale-immune, hex-float doubles, bit-exact
+/// round-trip). Both leave the stream just past the state's last token, so
+/// the pair embeds cleanly inside a larger stream (the fleet checkpoint
+/// does). load throws std::runtime_error on malformed input.
+void save_faulty_env_state(std::ostream& os, const FaultyEnvState& state);
+FaultyEnvState load_faulty_env_state(std::istream& is);
 
 class FaultyEnv final : public env::Environment {
  public:

@@ -1,0 +1,208 @@
+// FleetManager::save_checkpoint / restore_checkpoint plus the file
+// wrappers (format notes in fleet_io.hpp).
+#include "fleet/fleet_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/library_io.hpp"
+#include "core/snapshot.hpp"
+#include "env/context.hpp"
+#include "util/lineio.hpp"
+#include "util/rng.hpp"
+
+namespace rac::fleet {
+
+namespace {
+
+constexpr const char* kFleetMagic = "rac-fleet-checkpoint";
+constexpr int kFleetVersion = 1;
+
+std::string bool_token(bool b) { return b ? "1" : "0"; }
+
+bool read_bool(std::istream& is, std::string_view what) {
+  const std::uint64_t v = util::parse_u64(util::read_token(is, what), what);
+  if (v > 1) {
+    throw std::runtime_error(std::string(what) + ": flag must be 0 or 1");
+  }
+  return v == 1;
+}
+
+void write_rng_state(std::ostream& os, const util::RngState& state) {
+  os << "env_rng";
+  for (const std::uint64_t word : state.words) {
+    os << ' ' << util::format_u64(word);
+  }
+  os << ' ' << bool_token(state.has_cached_normal) << ' '
+     << util::format_double(state.cached_normal) << "\n";
+}
+
+util::RngState read_rng_state(std::istream& is) {
+  util::expect_token(is, "env_rng", "fleet checkpoint");
+  util::RngState state;
+  for (std::uint64_t& word : state.words) {
+    word = util::parse_u64(util::read_token(is, "env_rng"), "env_rng");
+  }
+  state.has_cached_normal = read_bool(is, "env_rng");
+  state.cached_normal =
+      util::parse_double(util::read_token(is, "env_rng"), "env_rng");
+  return state;
+}
+
+}  // namespace
+
+void FleetManager::save_checkpoint(std::ostream& os) const {
+  os << kFleetMagic << " v" << kFleetVersion << "\n";
+  os << "seed " << util::format_u64(opt_.seed) << "\n";
+  os << "fault_seed " << util::format_u64(opt_.fault_seed) << "\n";
+  os << "completed " << util::format_i64(completed_) << "\n";
+  os << "retrain_rounds " << util::format_i64(retrain_rounds_) << "\n";
+  os << "library\n";
+  core::save_library(os, library_);
+  os << "tenants " << util::format_u64(tenants_.size()) << "\n";
+  for (const Tenant& tenant : tenants_) {
+    os << "tenant " << util::format_i64(tenant.spec.id) << "\n";
+    write_rng_state(os, tenant.analytic->noise_state());
+    os << "fault " << bool_token(tenant.faulty != nullptr) << "\n";
+    if (tenant.faulty != nullptr) {
+      fault::save_faulty_env_state(os, tenant.faulty->state());
+    }
+    os << "agent\n";
+    core::save_agent_snapshot(os, tenant.agent->snapshot());
+  }
+  os << "end\n";
+  if (!os) {
+    throw std::ios_base::failure("save_checkpoint: stream write failed");
+  }
+}
+
+void FleetManager::restore_checkpoint(std::istream& is) {
+  util::expect_token(is, kFleetMagic, "fleet checkpoint magic");
+  const std::string version = util::read_token(is, "fleet checkpoint version");
+  if (version != "v1") {
+    throw std::runtime_error("fleet checkpoint: unsupported version '" +
+                             version + "'");
+  }
+  util::expect_token(is, "seed", "fleet checkpoint");
+  const std::uint64_t seed =
+      util::parse_u64(util::read_token(is, "seed"), "seed");
+  util::expect_token(is, "fault_seed", "fleet checkpoint");
+  const std::uint64_t fault_seed =
+      util::parse_u64(util::read_token(is, "fault_seed"), "fault_seed");
+  if (seed != opt_.seed || fault_seed != opt_.fault_seed) {
+    throw std::runtime_error(
+        "fleet checkpoint: seed mismatch (checkpoint belongs to a "
+        "different fleet)");
+  }
+  util::expect_token(is, "completed", "fleet checkpoint");
+  const int completed =
+      util::parse_int(util::read_token(is, "completed"), "completed");
+  util::expect_token(is, "retrain_rounds", "fleet checkpoint");
+  const int retrain_rounds = util::parse_int(
+      util::read_token(is, "retrain_rounds"), "retrain_rounds");
+  if (completed < 0 || retrain_rounds < 0) {
+    throw std::runtime_error("fleet checkpoint: negative progress counter");
+  }
+  util::expect_token(is, "library", "fleet checkpoint");
+  core::InitialPolicyLibrary library = core::load_library(is);
+  if (library.size() != library_.size()) {
+    throw std::runtime_error(
+        "fleet checkpoint: library size differs from the live fleet's");
+  }
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    if (!(library.at(i).context == library_.at(i).context)) {
+      throw std::runtime_error(
+          "fleet checkpoint: library context mismatch at policy " +
+          std::to_string(i));
+    }
+  }
+  util::expect_token(is, "tenants", "fleet checkpoint");
+  const std::uint64_t count =
+      util::parse_u64(util::read_token(is, "tenants"), "tenants");
+  if (count != tenants_.size()) {
+    throw std::runtime_error(
+        "fleet checkpoint: tenant count differs from the live fleet's");
+  }
+
+  // Parse and cross-check every tenant block before adopting anything.
+  std::vector<util::RngState> rng_states;
+  std::vector<std::optional<fault::FaultyEnvState>> fault_states;
+  std::vector<core::AgentSnapshot> snapshots;
+  rng_states.reserve(tenants_.size());
+  fault_states.reserve(tenants_.size());
+  snapshots.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) {
+    util::expect_token(is, "tenant", "fleet checkpoint");
+    const int id = util::parse_int(util::read_token(is, "tenant"), "tenant");
+    if (id != tenant.spec.id) {
+      throw std::runtime_error("fleet checkpoint: tenant id " +
+                               std::to_string(id) +
+                               " does not match the live fleet's " +
+                               std::to_string(tenant.spec.id));
+    }
+    rng_states.push_back(read_rng_state(is));
+    util::expect_token(is, "fault", "fleet checkpoint");
+    const bool has_fault = read_bool(is, "fault");
+    if (has_fault != (tenant.faulty != nullptr)) {
+      throw std::runtime_error(
+          "fleet checkpoint: fault topology differs from the live fleet's "
+          "at tenant " +
+          std::to_string(id));
+    }
+    if (has_fault) {
+      fault_states.push_back(fault::load_faulty_env_state(is));
+    } else {
+      fault_states.push_back(std::nullopt);
+    }
+    util::expect_token(is, "agent", "fleet checkpoint");
+    snapshots.push_back(core::load_agent_snapshot(is));
+  }
+  util::expect_token(is, "end", "fleet checkpoint");
+
+  // Commit. Per-agent adoption is validate-then-commit inside restore();
+  // see the header note about discarding the fleet if this throws.
+  library_ = std::move(library);
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    Tenant& tenant = tenants_[t];
+    tenant.agent->rebase_library(library_);
+    tenant.agent->restore(snapshots[t]);
+    tenant.analytic->restore_noise_state(rng_states[t]);
+    if (fault_states[t].has_value()) {
+      tenant.faulty->restore(*fault_states[t]);
+    }
+  }
+  completed_ = completed;
+  retrain_rounds_ = retrain_rounds;
+}
+
+void save_fleet_checkpoint_file(const std::string& path,
+                                const FleetManager& fleet) {
+  std::ostringstream buffer;
+  fleet.save_checkpoint(buffer);
+  util::atomic_write_file(path, buffer.str());
+}
+
+void restore_fleet_checkpoint_file(const std::string& path,
+                                   FleetManager& fleet) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::ios_base::failure("restore_fleet_checkpoint_file: cannot open " +
+                                 path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::istringstream is(contents.str());
+  fleet.restore_checkpoint(is);
+  std::string extra;
+  if (is >> extra) {
+    throw std::runtime_error(
+        "restore_fleet_checkpoint_file: trailing garbage after checkpoint");
+  }
+}
+
+}  // namespace rac::fleet

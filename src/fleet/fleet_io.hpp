@@ -1,0 +1,34 @@
+// Whole-fleet checkpoint/restore ("rac-fleet-checkpoint v1").
+//
+// One checkpoint captures everything a fleet needs to continue
+// bit-identically: progress counters, the shared policy library (embedded
+// via core::save_library), and per tenant the environment's noise-stream
+// position, the fault injector's state, and the full agent snapshot
+// (embedded via core::save_agent_snapshot -- both embedded formats are
+// self-delimiting, so no byte counts are needed). Stats registries are
+// observability, not state, and are not captured.
+//
+// Same line-oriented persistence idiom as the rest of the repo: labeled
+// tokens, util/lineio hex-float doubles (locale-immune, exact), an "end"
+// trailer, atomic file replacement, and trailing-garbage rejection in the
+// file loader.
+#pragma once
+
+#include <string>
+
+#include "fleet/fleet.hpp"
+
+namespace rac::fleet {
+
+/// File wrappers over FleetManager::save_checkpoint /
+/// restore_checkpoint. Saving writes atomically (temp file + rename);
+/// restoring rejects trailing garbage after the "end" trailer and
+/// validates the checkpoint against the live fleet's specs. Throws
+/// std::ios_base::failure on I/O errors and std::runtime_error /
+/// std::invalid_argument on malformed or mismatched contents.
+void save_fleet_checkpoint_file(const std::string& path,
+                                const FleetManager& fleet);
+void restore_fleet_checkpoint_file(const std::string& path,
+                                   FleetManager& fleet);
+
+}  // namespace rac::fleet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -217,6 +218,53 @@ const HistogramSample* MetricsSnapshot::histogram(
     if (h.name == name) return &h;
   }
   return nullptr;
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  // std::map keys keep the merged output sorted by name without a second
+  // pass; this path is reporting-time only, never hot.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSample> histograms;
+  std::map<std::string, bool> bounds_match;
+  for (const MetricsSnapshot& part : parts) {
+    for (const CounterSample& c : part.counters) counters[c.name] += c.value;
+    for (const GaugeSample& g : part.gauges) gauges[g.name] += g.value;
+    for (const HistogramSample& h : part.histograms) {
+      auto [it, inserted] = histograms.emplace(h.name, h);
+      if (inserted) {
+        bounds_match[h.name] = true;
+        continue;
+      }
+      HistogramSample& merged = it->second;
+      merged.count += h.count;
+      merged.sum += h.sum;
+      bool& match = bounds_match[h.name];
+      match = match && merged.bounds == h.bounds &&
+              merged.bucket_counts.size() == h.bucket_counts.size();
+      if (match) {
+        for (std::size_t i = 0; i < merged.bucket_counts.size(); ++i) {
+          merged.bucket_counts[i] += h.bucket_counts[i];
+        }
+      } else {
+        merged.bounds.clear();
+        merged.bucket_counts.clear();
+      }
+    }
+  }
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) out.counters.push_back({name, value});
+  out.gauges.reserve(gauges.size());
+  for (const auto& [name, value] : gauges) out.gauges.push_back({name, value});
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, merged] : histograms) {
+    merged.mean = merged.count == 0
+                      ? 0.0
+                      : merged.sum / static_cast<double>(merged.count);
+    out.histograms.push_back(std::move(merged));
+  }
+  return out;
 }
 
 Registry& default_registry() {

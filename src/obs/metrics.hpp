@@ -163,6 +163,14 @@ class Registry {
   std::vector<std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Fold several snapshots (e.g. one per fleet shard) into one aggregate,
+/// sorted by name: counters and gauges sum per name; histograms sum count
+/// and sum per name, and bucket counts are added when every contributing
+/// histogram shares the first one's bounds (on a layout mismatch the
+/// merged entry keeps count/sum/mean exact and drops the buckets --
+/// summing unlike layouts would fabricate a distribution).
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
 /// The process-wide registry every built-in instrumentation point uses.
 Registry& default_registry();
 

@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
+
+#include "util/log.hpp"
 
 namespace rac::util {
 
@@ -19,16 +22,27 @@ double elapsed_us(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-std::size_t default_thread_count() {
-  if (const char* env = std::getenv("RAC_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 1) {
-      return static_cast<std::size_t>(parsed);
-    }
+std::optional<std::size_t> parse_thread_count(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0' || parsed < 1) {
+    return std::nullopt;
   }
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  const std::size_t fallback = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  const char* env = std::getenv("RAC_THREADS");
+  if (env == nullptr) return fallback;
+  if (const auto parsed = parse_thread_count(env)) return *parsed;
+  log_warn("RAC_THREADS='", env,
+           "' is not a positive integer; falling back to hardware "
+           "concurrency (", fallback, ")");
+  return fallback;
 }
 
 ThreadPool::ThreadPool(std::size_t threads, PoolTelemetry telemetry)

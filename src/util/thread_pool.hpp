@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -28,8 +29,18 @@
 
 namespace rac::util {
 
+/// Parse a RAC_THREADS-style worker-count override. Returns nullopt for
+/// nullptr, an empty string, trailing garbage ("4x"), non-numeric input,
+/// zero, negative values, or anything that overflows -- every rejection
+/// means "fall back to hardware concurrency". Exposed separately from
+/// default_thread_count so the accept/reject table is unit-testable
+/// without mutating the process environment.
+std::optional<std::size_t> parse_thread_count(const char* text) noexcept;
+
 /// Worker count requested via the RAC_THREADS environment variable;
-/// hardware_concurrency when unset or unparsable (minimum 1).
+/// hardware_concurrency when unset (minimum 1). A set-but-invalid value
+/// (garbage, 0, negative) also falls back, with a logged warning -- a typo
+/// in a job script must not silently serialize or wedge the run.
 std::size_t default_thread_count();
 
 /// Optional telemetry callbacks (wired to the metrics registry by

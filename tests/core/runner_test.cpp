@@ -60,11 +60,36 @@ TEST(Runner, AppliesScheduleAtRequestedIterations) {
 TEST(Runner, RejectsUnsortedSchedule) {
   AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
   baselines::StaticDefaultAgent agent;
-  const ContextSchedule schedule = {
+  const ContextSchedule out_of_order = {
+      {5, {MixType::kShopping, VmLevel::kLevel1}},
+      {2, {MixType::kOrdering, VmLevel::kLevel1}},
+  };
+  EXPECT_THROW(run_agent(env, agent, out_of_order, 10), std::invalid_argument);
+}
+
+TEST(Runner, RejectsDuplicateScheduleStarts) {
+  // Two entries at the same iteration: only one can win, so the schedule
+  // is ambiguous and must be rejected, not silently resolved.
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  const ContextSchedule duplicate = {
       {5, {MixType::kShopping, VmLevel::kLevel1}},
       {5, {MixType::kOrdering, VmLevel::kLevel1}},
   };
-  EXPECT_THROW(run_agent(env, agent, schedule, 10), std::invalid_argument);
+  EXPECT_THROW(run_agent(env, agent, duplicate, 10), std::invalid_argument);
+}
+
+TEST(Runner, RejectsNegativeScheduleStart) {
+  // The fleet layer feeds thousands of generated schedules through here; a
+  // negative start would be skipped by the fast-forward loop and its
+  // context applied as if it shadowed iteration 0 -- reject it instead.
+  AnalyticEnv env({MixType::kShopping, VmLevel::kLevel1}, quiet_env());
+  baselines::StaticDefaultAgent agent;
+  const ContextSchedule negative = {
+      {-1, {MixType::kShopping, VmLevel::kLevel1}},
+      {5, {MixType::kOrdering, VmLevel::kLevel1}},
+  };
+  EXPECT_THROW(run_agent(env, agent, negative, 10), std::invalid_argument);
 }
 
 TEST(AgentTrace, MeanOverRanges) {
@@ -78,7 +103,27 @@ TEST(AgentTrace, MeanOverRanges) {
   EXPECT_DOUBLE_EQ(trace.mean_response_ms(), 350.0);
   EXPECT_DOUBLE_EQ(trace.mean_response_ms(0, 3), 200.0);
   EXPECT_DOUBLE_EQ(trace.mean_response_ms(3), 500.0);
-  EXPECT_DOUBLE_EQ(trace.mean_response_ms(4, 4), 0.0);
+}
+
+// An empty or inverted range has no mean: the result is quiet NaN, never a
+// fabricated 0 that would dilute a caller's average of per-segment means.
+TEST(AgentTrace, MeanOverEmptyOrInvertedRangeIsNaN) {
+  AgentTrace trace;
+  for (int i = 0; i < 6; ++i) {
+    IterationRecord r;
+    r.iteration = i;
+    r.response_ms = 100.0 * (i + 1);
+    trace.records.push_back(r);
+  }
+  EXPECT_TRUE(std::isnan(trace.mean_response_ms(4, 4)));   // empty
+  EXPECT_TRUE(std::isnan(trace.mean_response_ms(5, 2)));   // inverted
+  EXPECT_TRUE(std::isnan(trace.mean_response_ms(6)));      // from == size
+  EXPECT_TRUE(std::isnan(trace.mean_response_ms(99, -1))); // from > size
+  EXPECT_TRUE(std::isnan(trace.mean_response_ms(-5, 0)));  // clamps to [0,0)
+  // One-record ranges at both edges still have a mean.
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(5, 6), 600.0);
+  EXPECT_DOUBLE_EQ(trace.mean_response_ms(5, 99), 600.0);  // to clamps down
 }
 
 TEST(AgentTrace, SettledIterationDetectsStabilization) {
@@ -111,7 +156,7 @@ TEST(AgentTrace, SettledIterationOnEmptyTrace) {
   EXPECT_EQ(trace.settled_iteration(0), -1);
   EXPECT_EQ(trace.settled_iteration(0, -1), -1);
   EXPECT_EQ(trace.settled_iteration(5, 10), -1);
-  EXPECT_DOUBLE_EQ(trace.mean_response_ms(), 0.0);
+  EXPECT_TRUE(std::isnan(trace.mean_response_ms()));
 }
 
 TEST(AgentTrace, SettledIterationToMinusOneMeansEndOfTrace) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace rac::util {
@@ -97,15 +98,54 @@ TEST(ThreadPool, TelemetryHooksFireOncePerTask) {
   EXPECT_GE(depth_reports.load(), 1);
 }
 
+TEST(ThreadPool, ParseThreadCountAcceptsPositiveIntegersOnly) {
+  EXPECT_EQ(parse_thread_count("1"), std::size_t{1});
+  EXPECT_EQ(parse_thread_count("8"), std::size_t{8});
+  EXPECT_EQ(parse_thread_count("  12"), std::size_t{12});  // strtol skips space
+  EXPECT_EQ(parse_thread_count(nullptr), std::nullopt);
+  EXPECT_EQ(parse_thread_count(""), std::nullopt);
+  EXPECT_EQ(parse_thread_count("0"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("-3"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("lots"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4x"), std::nullopt);  // trailing garbage
+  EXPECT_EQ(parse_thread_count("3.5"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("99999999999999999999999"),
+            std::nullopt);  // overflows long
+}
+
 TEST(ThreadPool, DefaultThreadCountReadsEnvironment) {
   ASSERT_EQ(setenv("RAC_THREADS", "3", 1), 0);
   EXPECT_EQ(default_thread_count(), 3u);
-  ASSERT_EQ(setenv("RAC_THREADS", "0", 1), 0);  // invalid: below minimum
-  EXPECT_GE(default_thread_count(), 1u);
-  ASSERT_EQ(setenv("RAC_THREADS", "lots", 1), 0);  // unparsable
-  EXPECT_GE(default_thread_count(), 1u);
   ASSERT_EQ(unsetenv("RAC_THREADS"), 0);
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+// A set-but-invalid RAC_THREADS falls back to hardware concurrency AND
+// warns: a typo in a job script must be visible, not a silent one-thread
+// (or hardware-wide) surprise.
+TEST(ThreadPool, DefaultThreadCountWarnsOnInvalidEnvironment) {
+  std::vector<std::string> warnings;
+  set_log_sink([&](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kWarn) warnings.push_back(line);
+  });
+  for (const char* bad : {"0", "-2", "lots", "4x"}) {
+    ASSERT_EQ(setenv("RAC_THREADS", bad, 1), 0);
+    EXPECT_GE(default_thread_count(), 1u) << "RAC_THREADS=" << bad;
+  }
+  ASSERT_EQ(unsetenv("RAC_THREADS"), 0);
+  set_log_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 4u);
+  for (const auto& line : warnings) {
+    EXPECT_NE(line.find("RAC_THREADS"), std::string::npos) << line;
+  }
+  // The unset case must stay quiet.
+  warnings.clear();
+  set_log_sink([&](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kWarn) warnings.push_back(line);
+  });
+  EXPECT_GE(default_thread_count(), 1u);
+  set_log_sink(nullptr);
+  EXPECT_TRUE(warnings.empty());
 }
 
 TEST(DeriveSeed, DeterministicAndIndexSensitive) {
