@@ -56,6 +56,7 @@ SUITE = [
     "bench_parallel_init",
     "bench_fault_robustness",
     "bench_fleet_scale",
+    "bench_dynamic_traffic",
 ]
 
 PHASE_GATE_RATIO = 1.25      # fail a gated phase at +25% over baseline

@@ -22,6 +22,12 @@
 #               decision digests or fleet checkpoints differ, so this
 #               phase is a fast standalone determinism gate for the
 #               sharded control plane.
+#   RAC_TRAFFIC_SMOKE=1 traffic smoke: run the dynamic-traffic bench in
+#               quick mode (diurnal + flash crowd + mix drift day). The
+#               binary exits non-zero when the RL-vs-static SLA gate or
+#               any traffic determinism gate (serial-vs-pooled target
+#               stream, 1-vs-4-thread training digest, checkpoint/resume
+#               stitching) fails.
 #   RAC_BENCH_SMOKE=1 bench smoke: run the gated bench suite in quick
 #               mode with RAC_BENCH_REPORT on (scripts/bench_trajectory.py
 #               sweep) and print the aggregated entry. Catches benches
@@ -71,6 +77,10 @@ fi
 
 if [[ "${RAC_FLEET_SMOKE:-0}" == "1" ]]; then
   RAC_BENCH_QUICK=1 "$BUILD_DIR"/bench/bench_fleet_scale
+fi
+
+if [[ "${RAC_TRAFFIC_SMOKE:-0}" == "1" ]]; then
+  RAC_BENCH_QUICK=1 "$BUILD_DIR"/bench/bench_dynamic_traffic
 fi
 
 if [[ "${RAC_BENCH_SMOKE:-0}" == "1" ]]; then

@@ -58,6 +58,7 @@ RacAgent::RacAgent(const RacOptions& options, InitialPolicyLibrary library,
   decisions_ = &reg.counter("core.rac.decisions");
   explorations_ = &reg.counter("core.rac.explore_actions");
   policy_switch_count_ = &reg.counter("core.rac.policy_switches");
+  policy_reseed_count_ = &reg.counter("core.rac.policy_reseeds");
   retrain_count_ = &reg.counter("core.rac.retrains");
   nonfinite_samples_ = &reg.counter("core.rac.nonfinite_samples");
   frozen_samples_ = &reg.counter("core.rac.frozen_samples");
@@ -235,13 +236,27 @@ void RacAgent::observe(const config::Configuration& applied,
   if (detector_.observe(sample.response_ms)) {
     if (opt_.adaptive_policy_switching && !library_.empty()) {
       const auto match = library_.best_match(applied, effective);
-      if (match.has_value() && match != active_policy_) {
-        util::log_info("RAC: context change detected, switching to policy ",
-                       *match, " (", library_.at(*match).context.name(), ")");
+      if (match.has_value()) {
+        if (match != active_policy_) {
+          util::log_info("RAC: context change detected, switching to policy ",
+                         *match, " (", library_.at(*match).context.name(),
+                         ")");
+          ++policy_switches_;
+          last_policy_switched_ = true;
+          policy_switch_count_->add(1);
+        } else {
+          // The detector fired but the best match is the policy already
+          // active: the context moved within this policy's regime (a load
+          // surge, not a mix change). The online-refined table was refined
+          // for the PRE-change conditions, so re-seeding from the offline
+          // prior below restores the library's knowledge of the stressed
+          // region that online learning at the old operating point eroded.
+          util::log_info(
+              "RAC: context change detected, re-seeding active policy ",
+              *match, " (", library_.at(*match).context.name(), ")");
+          policy_reseed_count_->add(1);
+        }
         load_policy(*match);
-        ++policy_switches_;
-        last_policy_switched_ = true;
-        policy_switch_count_->add(1);
       }
     }
     // Stale measurements (and the old context's calibration) mislead

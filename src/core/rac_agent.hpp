@@ -5,7 +5,11 @@
 //      Q-table (paper: epsilon = 0.05 online);
 //   2. measure the system's application-level performance;
 //   3. check for context changes (ViolationDetector); after s_thr
-//      consecutive violations switch to the best-matching initial policy;
+//      consecutive violations switch to the best-matching initial policy.
+//      The Q-table is re-seeded from that policy even when the best match
+//      is the one already active: the online-refined table encodes the
+//      pre-change operating point, while the offline prior still knows
+//      the regions the change moved the system into;
 //   4. fold the measurement into the experience store and retrain the
 //      Q-table by batch TD sweeps (Algorithm 1 with the paper's batch
 //      exploration rate 0.1) over every remembered state, so all states
@@ -185,6 +189,7 @@ class RacAgent : public ConfigAgent {
   obs::Counter* decisions_ = nullptr;
   obs::Counter* explorations_ = nullptr;
   obs::Counter* policy_switch_count_ = nullptr;
+  obs::Counter* policy_reseed_count_ = nullptr;
   obs::Counter* retrain_count_ = nullptr;
   obs::Counter* nonfinite_samples_ = nullptr;
   obs::Counter* frozen_samples_ = nullptr;

@@ -145,6 +145,7 @@ AgentTrace run_agent(env::Environment& environment, ConfigAgent& agent,
     }
     RunCheckpoint checkpoint;
     checkpoint.completed_iterations = static_cast<std::uint64_t>(completed);
+    checkpoint.traffic_interval = environment.traffic_interval();
     checkpoint.agent_state = state.str();
     {
       const obs::ScopedTimer timer(&h_checkpoint);

@@ -18,10 +18,12 @@ constexpr const char* kSnapshotMagic = "rac-agent-snapshot";
 constexpr const char* kCheckpointMagic = "rac-checkpoint";
 // Snapshot v2 added the measurement-robustness hyperparameters and state
 // (PR 5); v1 snapshots still load, with those fields at their all-off
-// defaults. The checkpoint container format is unversioned-independent and
-// stays at v1.
+// defaults.
+// Checkpoint v2 added the environment's traffic-model cursor (dynamic
+// traffic, workload/dynamic.hpp); v1 checkpoints still load, with the
+// cursor at 0 -- exactly what every pre-v2 run (no traffic model) had.
 constexpr int kSnapshotVersion = 2;
-constexpr int kCheckpointVersion = 1;
+constexpr int kCheckpointVersion = 2;
 
 std::string bool_token(bool b) { return b ? "1" : "0"; }
 
@@ -294,6 +296,7 @@ void write_checkpoint_file(const std::string& path,
   os << kCheckpointMagic << " v" << kCheckpointVersion << "\n";
   os << "completed " << util::format_u64(checkpoint.completed_iterations)
      << "\n";
+  os << "traffic " << util::format_u64(checkpoint.traffic_interval) << "\n";
   // The agent state is opaque text; a byte count delimits it so the
   // checkpoint loader need not understand the agent's own format.
   os << "agent_state " << util::format_u64(checkpoint.agent_state.size())
@@ -314,13 +317,17 @@ RunCheckpoint load_checkpoint_file(const std::string& path) {
   if (magic != kCheckpointMagic) {
     throw std::runtime_error("load_checkpoint_file: not a checkpoint file");
   }
-  if (version != "v1") {
+  if (version != "v1" && version != "v2") {
     throw std::runtime_error("load_checkpoint_file: unsupported version " +
                              version);
   }
   RunCheckpoint checkpoint;
   util::expect_token(is, "completed", kWhat);
   checkpoint.completed_iterations = read_u64(is, kWhat);
+  if (version == "v2") {
+    util::expect_token(is, "traffic", kWhat);
+    checkpoint.traffic_interval = read_u64(is, kWhat);
+  }
   util::expect_token(is, "agent_state", kWhat);
   const std::uint64_t bytes = read_u64(is, kWhat);
   if (is.get() != '\n') {

@@ -102,8 +102,17 @@ AgentSnapshot load_agent_snapshot(std::istream& is);
 
 /// A run checkpoint: how far the management loop got plus the agent's
 /// serialized state (opaque text produced by ConfigAgent::save_state).
+///
+/// `traffic_interval` is the environment's dynamic-traffic cursor
+/// (env::Environment::traffic_interval()) at checkpoint time -- it counts
+/// measurements, not loop iterations, so under measurement retries it can
+/// exceed `completed_iterations`. Resume callers re-install the traffic
+/// model themselves (the model is immutable run input, like the context
+/// schedule) and then seek_traffic() to this cursor. v1 checkpoints load
+/// with the cursor at 0, which is what every pre-v2 run had.
 struct RunCheckpoint {
   std::uint64_t completed_iterations = 0;
+  std::uint64_t traffic_interval = 0;
   std::string agent_state;
 };
 

@@ -71,7 +71,13 @@ std::unique_ptr<Environment> AnalyticEnv::clone_with_seed(
   // Mix in this environment's own seed so two base environments that get
   // the same task seed still draw distinct noise.
   options.seed = util::derive_seed(opt_.seed, seed);
-  return std::make_unique<AnalyticEnv>(ctx_, options);
+  auto clone = std::make_unique<AnalyticEnv>(ctx_, options);
+  // The model is immutable shared state and the cursor is part of the
+  // trajectory: a clone measuring interval k must see the same target the
+  // original would have.
+  clone->traffic_ = traffic_;
+  clone->traffic_interval_ = traffic_interval_;
+  return clone;
 }
 
 PerfSample AnalyticEnv::measure(const Configuration& configuration) {
@@ -79,7 +85,28 @@ PerfSample AnalyticEnv::measure(const Configuration& configuration) {
   // statics here would pin the counters to the first caller's registry.
   obs::Registry& reg = obs::registry_or_default(opt_.registry);
   reg.counter("env.analytic.measurements").add(1);
-  PerfSample sample = evaluate(configuration);
+
+  // Resolve this interval's traffic target: a measure_under overlay wins,
+  // else the installed model's emission at the cursor. The cursor counts
+  // model-driven measurements (overlays replace the target for their
+  // interval but still consume it).
+  std::optional<workload::TrafficTarget> target = overlay_;
+  const bool modeled = traffic_ != nullptr && !traffic_->empty();
+  if (!target.has_value() && modeled) {
+    target = traffic_->target_at(
+        static_cast<std::int64_t>(traffic_interval_), ctx_.mix);
+  }
+  if (traffic_ != nullptr) ++traffic_interval_;
+  if (target.has_value()) {
+    reg.counter("core.traffic.intervals").add(1);
+    if (overlay_.has_value()) reg.counter("core.traffic.overlays").add(1);
+    reg.gauge("core.traffic.concurrency_scale")
+        .set(target->concurrency_scale);
+    reg.gauge("core.traffic.think_scale").set(target->think_scale);
+  }
+
+  PerfSample sample = evaluate_target(
+      configuration, target.has_value() ? &*target : nullptr, nullptr);
   if (opt_.noise_sigma > 0.0) {
     sample.response_ms *= rng_.lognormal_unit(opt_.noise_sigma);
     sample.throughput_rps *= rng_.lognormal_unit(opt_.noise_sigma * 0.5);
@@ -88,19 +115,66 @@ PerfSample AnalyticEnv::measure(const Configuration& configuration) {
   return sample;
 }
 
+PerfSample AnalyticEnv::measure_under(const workload::TrafficTarget& overlay,
+                                      const Configuration& configuration) {
+  overlay_ = overlay;
+  PerfSample sample;
+  try {
+    sample = measure(configuration);
+  } catch (...) {
+    overlay_.reset();
+    throw;
+  }
+  overlay_.reset();
+  return sample;
+}
+
+void AnalyticEnv::set_traffic_model(
+    std::shared_ptr<const workload::TrafficModel> model) {
+  traffic_ = std::move(model);
+  traffic_interval_ = 0;
+}
+
 PerfSample AnalyticEnv::evaluate(const Configuration& cfg,
                                  ModelDiagnostics* diagnostics) const {
+  return evaluate_target(cfg, nullptr, diagnostics);
+}
+
+PerfSample AnalyticEnv::evaluate_under(const Configuration& cfg,
+                                       const workload::TrafficTarget& target,
+                                       ModelDiagnostics* diagnostics) const {
+  return evaluate_target(cfg, &target, diagnostics);
+}
+
+PerfSample AnalyticEnv::evaluate_target(
+    const Configuration& cfg, const workload::TrafficTarget* target,
+    ModelDiagnostics* diagnostics) const {
   obs::Registry& reg = obs::registry_or_default(opt_.registry);
   reg.counter("env.analytic.evaluations").add(1);
   obs::Histogram& h_evaluate =
       reg.histogram("env.analytic.evaluate_us", obs::latency_us_bounds());
   const obs::ScopedTimer eval_timer(&h_evaluate);
   const tiersim::SystemParams& P = opt_.system;
-  const auto stats = workload::mix_stats(ctx_.mix);
-  const auto profile = workload::browser_profile(ctx_.mix);
+  // With a traffic target: the blended workload at the scaled population.
+  // A one-hot blend with unit scales reproduces the plain path bitwise
+  // (0 * x accumulates as +0.0 and the division is by exactly 1.0), so a
+  // model-free environment's digests are untouched by this layer.
+  const workload::MixStats stats =
+      target != nullptr ? workload::blend_mix_stats(target->mix_weights)
+                        : workload::mix_stats(ctx_.mix);
+  const workload::BrowserProfile profile =
+      target != nullptr
+          ? workload::blend_browser_profile(target->mix_weights,
+                                            target->think_scale)
+          : workload::browser_profile(ctx_.mix);
   const tiersim::VmSpec web_vm = web_vm_spec();
   const tiersim::VmSpec app_vm = vm_spec(ctx_.level);
-  const int N = opt_.num_clients;
+  const int N =
+      target != nullptr
+          ? std::max(1, static_cast<int>(std::lround(
+                            static_cast<double>(opt_.num_clients) *
+                            target->concurrency_scale)))
+          : opt_.num_clients;
   const double Z = profile.effective_think_mean_s();
   const double L = profile.session_length_mean;
 

@@ -27,11 +27,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
 #include "env/environment.hpp"
 #include "queueing/mva.hpp"
 #include "tiersim/system_params.hpp"
 #include "util/rng.hpp"
+#include "workload/dynamic.hpp"
 
 namespace rac::obs {
 class Registry;
@@ -93,9 +96,40 @@ class AnalyticEnv : public Environment {
   std::unique_ptr<Environment> clone_with_seed(
       std::uint64_t seed) const override;
 
-  /// Deterministic model evaluation (no measurement noise).
+  /// Deterministic model evaluation (no measurement noise, no traffic
+  /// target -- the scheduled context's static mix at the configured
+  /// population).
   PerfSample evaluate(const config::Configuration& configuration,
                       ModelDiagnostics* diagnostics = nullptr) const;
+
+  /// Deterministic model evaluation under a traffic target: the blended
+  /// mix statistics and browser profile, the scaled population, and the
+  /// think modulation. A one-hot target with unit scales is bitwise
+  /// identical to evaluate(). Benches use this as the noiseless oracle
+  /// when scoring static configurations through a dynamic day.
+  PerfSample evaluate_under(const config::Configuration& configuration,
+                            const workload::TrafficTarget& target,
+                            ModelDiagnostics* diagnostics = nullptr) const;
+
+  // -- dynamic traffic (workload/dynamic.hpp) -----------------------------
+  // measure() consumes model targets per interval and advances the
+  // cursor; measure_under replaces one interval's target (the fault
+  // layer's surge promotion rides on it). The model pointer is shared
+  // const state and clones carry it along with the cursor.
+  PerfSample measure_under(const workload::TrafficTarget& overlay,
+                           const config::Configuration& configuration) override;
+  void set_traffic_model(
+      std::shared_ptr<const workload::TrafficModel> model) override;
+  std::shared_ptr<const workload::TrafficModel> traffic_model()
+      const override {
+    return traffic_;
+  }
+  std::uint64_t traffic_interval() const override {
+    return traffic_interval_;
+  }
+  void seek_traffic(std::uint64_t interval) override {
+    traffic_interval_ = interval;
+  }
 
   const AnalyticEnvOptions& options() const noexcept { return opt_; }
 
@@ -109,6 +143,15 @@ class AnalyticEnv : public Environment {
   SystemContext ctx_;
   AnalyticEnvOptions opt_;
   util::Rng rng_;
+  std::shared_ptr<const workload::TrafficModel> traffic_;
+  std::uint64_t traffic_interval_ = 0;
+  /// Transient per-measurement override (measure_under); never outlives
+  /// the call that set it.
+  std::optional<workload::TrafficTarget> overlay_;
+
+  PerfSample evaluate_target(const config::Configuration& configuration,
+                             const workload::TrafficTarget* target,
+                             ModelDiagnostics* diagnostics) const;
   // Persistent MVA networks for the fixed-point loop: stations are added
   // once and each iteration swaps in fresh rate tables via
   // set_station_rates, reusing the networks' internal table storage

@@ -1,0 +1,42 @@
+// Default traffic-hook implementations for environments that predate (or
+// opt out of) the dynamic-traffic layer.
+#include "env/environment.hpp"
+
+#include <stdexcept>
+
+#include "workload/dynamic.hpp"
+
+namespace rac::env {
+
+PerfSample Environment::measure_under(const workload::TrafficTarget& overlay,
+                                      const config::Configuration& configuration) {
+  // Legacy degradation: a transient overlay collapses to its dominant mix,
+  // measured under a context swap -- bit-for-bit the surge-fault dance
+  // this hook replaced (set_context is a no-op when the mix already
+  // matches, and the scheduled context is restored unconditionally).
+  const SystemContext scheduled = context();
+  SystemContext transient = scheduled;
+  transient.mix = workload::dominant_mix(overlay);
+  set_context(transient);
+  const PerfSample sample = measure(configuration);
+  set_context(scheduled);
+  return sample;
+}
+
+void Environment::set_traffic_model(
+    std::shared_ptr<const workload::TrafficModel> model) {
+  if (model != nullptr) {
+    throw std::invalid_argument(
+        "Environment::set_traffic_model: this environment does not support "
+        "dynamic traffic models");
+  }
+}
+
+void Environment::seek_traffic(std::uint64_t interval) {
+  if (interval != 0) {
+    throw std::invalid_argument(
+        "Environment::seek_traffic: this environment has no traffic cursor");
+  }
+}
+
+}  // namespace rac::env

@@ -20,6 +20,11 @@
 #include "config/configuration.hpp"
 #include "env/context.hpp"
 
+namespace rac::workload {
+class TrafficModel;
+struct TrafficTarget;
+}  // namespace rac::workload
+
 namespace rac::env {
 
 /// One measurement interval's application-level observation.
@@ -49,6 +54,40 @@ class Environment {
   /// override this so the runner can surface faults in decision traces
   /// without depending on the fault layer.
   virtual std::string last_fault_note() const { return {}; }
+
+  /// Measure one interval under a transient traffic overlay (the dynamic
+  /// workload the agent must ride out -- it is NOT told). The overlay
+  /// replaces whatever the installed traffic model would have emitted for
+  /// this interval; the scheduled context is untouched afterwards. The
+  /// default degrades gracefully for environments without blend support:
+  /// it measures under the overlay's dominant mix via a set_context swap
+  /// (exactly the legacy surge-fault semantics).
+  virtual PerfSample measure_under(const workload::TrafficTarget& overlay,
+                                   const config::Configuration& configuration);
+
+  /// Install (or clear, with nullptr) a dynamic traffic model: from then
+  /// on each measured interval runs under model->target_at(cursor, mix)
+  /// and the cursor advances per measurement. Installing resets the cursor
+  /// to 0. The default implementation accepts only nullptr and throws
+  /// std::invalid_argument otherwise (the environment cannot honor a
+  /// model it would silently ignore).
+  virtual void set_traffic_model(
+      std::shared_ptr<const workload::TrafficModel> model);
+
+  virtual std::shared_ptr<const workload::TrafficModel> traffic_model() const {
+    return nullptr;
+  }
+
+  /// The traffic cursor: how many intervals this environment has measured
+  /// against its model. Checkpoints persist it (rac-checkpoint v2 /
+  /// rac-fleet-checkpoint v2) so a restored run resumes mid-day rather
+  /// than at dawn. Note it counts *measurements*, not loop iterations --
+  /// the runner's robustness retries each advance it.
+  virtual std::uint64_t traffic_interval() const { return 0; }
+
+  /// Reposition the traffic cursor (restore path). The default throws
+  /// std::invalid_argument for a nonzero target.
+  virtual void seek_traffic(std::uint64_t interval);
 
   /// Reallocate workload mix and/or VM resources (the external dynamics the
   /// agent must adapt to -- it is NOT told about this call).

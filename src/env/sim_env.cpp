@@ -1,5 +1,8 @@
 #include "env/sim_env.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 
@@ -17,6 +20,15 @@ void SimEnv::rebuild(const config::Configuration& configuration) {
   setup.num_clients = opt_.num_clients;
   setup.seed = next_seed_++;
   setup.registry = opt_.registry;
+  if (applied_target_.has_value()) {
+    setup.mix = workload::dominant_mix(*applied_target_);
+    setup.mix_weights = applied_target_->mix_weights;
+    setup.think_scale = applied_target_->think_scale;
+    setup.num_clients = std::max(
+        1, static_cast<int>(std::lround(
+               static_cast<double>(opt_.num_clients) *
+               applied_target_->concurrency_scale)));
+  }
   system_ = std::make_unique<tiersim::ThreeTierSystem>(opt_.system, setup);
 }
 
@@ -28,7 +40,28 @@ PerfSample SimEnv::measure(const config::Configuration& configuration) {
   obs::Histogram& h_measure =
       reg.histogram("env.sim.measure_us", obs::latency_us_bounds());
   const obs::ScopedTimer timer(&h_measure);
-  if (system_ == nullptr) {
+
+  std::optional<workload::TrafficTarget> target;
+  if (traffic_ != nullptr && !traffic_->empty()) {
+    target = traffic_->target_at(
+        static_cast<std::int64_t>(traffic_interval_), ctx_.mix);
+  }
+  if (traffic_ != nullptr) ++traffic_interval_;
+  if (target.has_value()) {
+    reg.counter("core.traffic.intervals").add(1);
+    reg.gauge("core.traffic.concurrency_scale").set(target->concurrency_scale);
+    reg.gauge("core.traffic.think_scale").set(target->think_scale);
+  }
+
+  // A changed target replaces the browser population, like a mix switch at
+  // the load balancer. An unchanged one (bit-for-bit, so the one-hot
+  // identity always matches itself) keeps the live system's state.
+  const bool target_changed =
+      target.has_value() != applied_target_.has_value() ||
+      (target.has_value() &&
+       !workload::same_target(*target, *applied_target_));
+  if (system_ == nullptr || target_changed) {
+    applied_target_ = target;
     rebuild(configuration);
   } else if (!(system_->configuration() == configuration)) {
     system_->reconfigure(configuration);
@@ -48,11 +81,19 @@ void SimEnv::set_context(const SystemContext& context) {
   if (mix_changed) {
     // A traffic-mix change replaces the browser population: rebuild with
     // the current configuration (server-side state does not survive the
-    // client switch in any meaningful way).
+    // client switch in any meaningful way). With a target applied the
+    // rebuild keeps the target's population; the next measure() resolves
+    // the new base mix's target and rebuilds again if it differs.
     rebuild(system_->configuration());
   } else {
     system_->set_app_vm(vm_spec(ctx_.level));
   }
+}
+
+void SimEnv::set_traffic_model(
+    std::shared_ptr<const workload::TrafficModel> model) {
+  traffic_ = std::move(model);
+  traffic_interval_ = 0;
 }
 
 }  // namespace rac::env

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "util/lineio.hpp"
 #include "util/rng.hpp"
+#include "workload/dynamic.hpp"
 
 namespace rac::fault {
 
@@ -160,14 +161,20 @@ env::PerfSample FaultyEnv::step(const config::Configuration& requested,
 
   // The system always actually runs the interval -- the truth is recorded
   // even when the monitor then drops or distorts the report. A surge
-  // interval runs under the surge context; the scheduled context is
-  // restored immediately after.
+  // interval rides on the traffic layer: it is measured under a one-hot
+  // TrafficTarget of the surge mix (env::Environment::measure_under), with
+  // the VM level flipped around the measurement when the surge context
+  // moves it. The scheduled context is restored immediately after.
   env::PerfSample truth;
   if (d.surge && d.surge_context.has_value()) {
     const env::SystemContext scheduled = inner_->context();
-    inner_->set_context(*d.surge_context);
-    truth = inner_->measure(effective);
-    inner_->set_context(scheduled);
+    const bool level_changed = d.surge_context->level != scheduled.level;
+    if (level_changed) {
+      inner_->set_context({scheduled.mix, d.surge_context->level});
+    }
+    truth = inner_->measure_under(
+        workload::one_hot_target(d.surge_context->mix), effective);
+    if (level_changed) inner_->set_context(scheduled);
     surges_->add(1);
   } else {
     truth = inner_->measure(effective);
@@ -213,6 +220,24 @@ void FaultyEnv::set_context(const env::SystemContext& context) {
 }
 
 env::SystemContext FaultyEnv::context() const { return inner_->context(); }
+
+void FaultyEnv::set_traffic_model(
+    std::shared_ptr<const workload::TrafficModel> model) {
+  inner_->set_traffic_model(std::move(model));
+}
+
+std::shared_ptr<const workload::TrafficModel> FaultyEnv::traffic_model()
+    const {
+  return inner_->traffic_model();
+}
+
+std::uint64_t FaultyEnv::traffic_interval() const {
+  return inner_->traffic_interval();
+}
+
+void FaultyEnv::seek_traffic(std::uint64_t interval) {
+  inner_->seek_traffic(interval);
+}
 
 std::unique_ptr<env::Environment> FaultyEnv::clone_with_seed(
     std::uint64_t seed) const {

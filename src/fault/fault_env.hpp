@@ -150,6 +150,16 @@ class FaultyEnv final : public env::Environment {
   void set_context(const env::SystemContext& context) override;
   env::SystemContext context() const override;
 
+  // Dynamic-traffic hooks forward to the inner environment: the traffic
+  // model shapes the true workload, the fault layer only distorts how it
+  // is observed. (measure_under keeps the base-class behaviour, routing
+  // the overlay measurement through the fault pipeline.)
+  void set_traffic_model(
+      std::shared_ptr<const workload::TrafficModel> model) override;
+  std::shared_ptr<const workload::TrafficModel> traffic_model() const override;
+  std::uint64_t traffic_interval() const override;
+  void seek_traffic(std::uint64_t interval) override;
+
   /// The decorator serializes measurement through its fault state, so it
   /// never advertises concurrent use even over a thread-safe inner
   /// environment.

@@ -105,6 +105,9 @@ FleetManager::FleetManager(std::vector<TenantSpec> specs, FleetOptions options,
       auto analytic =
           std::make_unique<env::AnalyticEnv>(initial_context, env_options);
       tenant.analytic = analytic.get();
+      if (tenant.spec.traffic != nullptr) {
+        analytic->set_traffic_model(tenant.spec.traffic);
+      }
       if (tenant.spec.fault_profile.has_value() ||
           !tenant.spec.fault_schedule.empty()) {
         fault::FaultyEnvOptions fault_options;

@@ -40,6 +40,7 @@
 #include "core/runner.hpp"
 #include "env/analytic_env.hpp"
 #include "fault/fault_env.hpp"
+#include "workload/dynamic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rl/td_learner.hpp"
@@ -61,6 +62,11 @@ struct TenantSpec {
   /// (options.fault_seed, id).
   std::optional<fault::FaultProfile> fault_profile;
   fault::FaultSchedule fault_schedule;
+  /// Optional dynamic-traffic model installed on the tenant's environment
+  /// (workload/dynamic.hpp). Immutable run input, like the schedule: a
+  /// fleet checkpoint persists only the per-tenant cursor, and a restore
+  /// validates against the live specs' models.
+  std::shared_ptr<const workload::TrafficModel> traffic;
 };
 
 /// Per-tenant rollup folded from the runner traces. Observability, not
@@ -160,8 +166,9 @@ class FleetManager {
   void set_sink(obs::TraceSink* sink) noexcept { opt_.sink = sink; }
 
   /// Serialize / adopt the complete fleet state ("rac-fleet-checkpoint
-  /// v1"): progress, the shared library, and every tenant's environment
-  /// noise stream, fault position, and agent snapshot. See fleet_io.hpp
+  /// v2"): progress, the shared library, and every tenant's environment
+  /// noise stream, traffic cursor, fault position, and agent snapshot
+  /// (v1 files still load, with every traffic cursor at 0). See fleet_io.hpp
   /// for the file-level wrappers. restore_checkpoint parses the whole
   /// stream and validates it against the live specs (tenant count, ids,
   /// fault topology, library shape) before adopting anything, throwing

@@ -21,7 +21,10 @@ namespace rac::fleet {
 namespace {
 
 constexpr const char* kFleetMagic = "rac-fleet-checkpoint";
-constexpr int kFleetVersion = 1;
+// v2 added the per-tenant dynamic-traffic cursor ("traffic <n>" after the
+// env_rng line); v1 checkpoints still load, with every cursor at 0 --
+// exactly what every pre-v2 fleet (no traffic models) had.
+constexpr int kFleetVersion = 2;
 
 std::string bool_token(bool b) { return b ? "1" : "0"; }
 
@@ -68,6 +71,8 @@ void FleetManager::save_checkpoint(std::ostream& os) const {
   for (const Tenant& tenant : tenants_) {
     os << "tenant " << util::format_i64(tenant.spec.id) << "\n";
     write_rng_state(os, tenant.analytic->noise_state());
+    os << "traffic " << util::format_u64(tenant.analytic->traffic_interval())
+       << "\n";
     os << "fault " << bool_token(tenant.faulty != nullptr) << "\n";
     if (tenant.faulty != nullptr) {
       fault::save_faulty_env_state(os, tenant.faulty->state());
@@ -84,7 +89,7 @@ void FleetManager::save_checkpoint(std::ostream& os) const {
 void FleetManager::restore_checkpoint(std::istream& is) {
   util::expect_token(is, kFleetMagic, "fleet checkpoint magic");
   const std::string version = util::read_token(is, "fleet checkpoint version");
-  if (version != "v1") {
+  if (version != "v1" && version != "v2") {
     throw std::runtime_error("fleet checkpoint: unsupported version '" +
                              version + "'");
   }
@@ -131,9 +136,11 @@ void FleetManager::restore_checkpoint(std::istream& is) {
 
   // Parse and cross-check every tenant block before adopting anything.
   std::vector<util::RngState> rng_states;
+  std::vector<std::uint64_t> traffic_cursors;
   std::vector<std::optional<fault::FaultyEnvState>> fault_states;
   std::vector<core::AgentSnapshot> snapshots;
   rng_states.reserve(tenants_.size());
+  traffic_cursors.reserve(tenants_.size());
   fault_states.reserve(tenants_.size());
   snapshots.reserve(tenants_.size());
   for (const Tenant& tenant : tenants_) {
@@ -146,6 +153,13 @@ void FleetManager::restore_checkpoint(std::istream& is) {
                                std::to_string(tenant.spec.id));
     }
     rng_states.push_back(read_rng_state(is));
+    if (version == "v2") {
+      util::expect_token(is, "traffic", "fleet checkpoint");
+      traffic_cursors.push_back(
+          util::parse_u64(util::read_token(is, "traffic"), "traffic"));
+    } else {
+      traffic_cursors.push_back(0);
+    }
     util::expect_token(is, "fault", "fleet checkpoint");
     const bool has_fault = read_bool(is, "fault");
     if (has_fault != (tenant.faulty != nullptr)) {
@@ -172,6 +186,7 @@ void FleetManager::restore_checkpoint(std::istream& is) {
     tenant.agent->rebase_library(library_);
     tenant.agent->restore(snapshots[t]);
     tenant.analytic->restore_noise_state(rng_states[t]);
+    tenant.analytic->seek_traffic(traffic_cursors[t]);
     if (fault_states[t].has_value()) {
       tenant.faulty->restore(*fault_states[t]);
     }

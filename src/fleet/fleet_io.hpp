@@ -1,9 +1,12 @@
-// Whole-fleet checkpoint/restore ("rac-fleet-checkpoint v1").
+// Whole-fleet checkpoint/restore ("rac-fleet-checkpoint v2"; v1 files
+// still load, with every traffic cursor at 0).
 //
 // One checkpoint captures everything a fleet needs to continue
 // bit-identically: progress counters, the shared policy library (embedded
 // via core::save_library), and per tenant the environment's noise-stream
-// position, the fault injector's state, and the full agent snapshot
+// position, the dynamic-traffic cursor (the model itself is immutable run
+// input carried by the TenantSpec, so only the position is state), the
+// fault injector's state, and the full agent snapshot
 // (embedded via core::save_agent_snapshot -- both embedded formats are
 // self-delimiting, so no byte counts are needed). Stats registries are
 // observability, not state, and are not captured.

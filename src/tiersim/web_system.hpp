@@ -25,6 +25,7 @@
 // demand (cache misses). Write transactions add lock contention.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -53,6 +54,14 @@ struct SimSetup {
   std::uint64_t seed = 1;
   /// Metrics destination; nullptr means the process-wide default registry.
   obs::Registry* registry = nullptr;
+  /// Optional dynamic-traffic blend (weights over workload::kAllMixes in
+  /// enum order). All-zero (the default) means every browser runs `mix`;
+  /// otherwise browsers are apportioned to mixes by largest-remainder
+  /// quotas in enum order -- deterministic, and a one-hot vector
+  /// reproduces the single-mix population bitwise.
+  std::array<double, 3> mix_weights{};
+  /// Multiplier on every browser's think and pause means (> 0).
+  double think_scale = 1.0;
 };
 
 /// Aggregate measurement over one observation window.

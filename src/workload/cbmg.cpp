@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/contracts.hpp"
+
 namespace rac::workload {
 
 namespace {
@@ -80,7 +82,27 @@ const TransitionMatrix& cbmg_matrix(MixType mix) {
     case MixType::kShopping: return shopping;
     case MixType::kOrdering: return ordering;
   }
-  return shopping;
+  // An out-of-enum MixType is a caller bug (a cast from untrusted data),
+  // not a mix to approximate: silently handing back the shopping matrix
+  // here once masked exactly that.
+  RAC_EXPECT(false, "cbmg_matrix: mix outside the MixType enum");
+  return shopping;  // unreachable under every contract mode that returns
+}
+
+const std::array<double, kNumInteractions>& entry_distribution(MixType mix) {
+  static const std::array<double, kNumInteractions> browsing =
+      stationary_distribution(cbmg_matrix(MixType::kBrowsing));
+  static const std::array<double, kNumInteractions> shopping =
+      stationary_distribution(cbmg_matrix(MixType::kShopping));
+  static const std::array<double, kNumInteractions> ordering =
+      stationary_distribution(cbmg_matrix(MixType::kOrdering));
+  switch (mix) {
+    case MixType::kBrowsing: return browsing;
+    case MixType::kShopping: return shopping;
+    case MixType::kOrdering: return ordering;
+  }
+  RAC_EXPECT(false, "entry_distribution: mix outside the MixType enum");
+  return shopping;  // unreachable under every contract mode that returns
 }
 
 std::array<double, kNumInteractions> stationary_distribution(
@@ -96,9 +118,12 @@ std::array<double, kNumInteractions> stationary_distribution(
     }
     pi = next;
   }
-  // Normalize against accumulated rounding.
+  // Normalize against accumulated rounding. A zero total means the input
+  // was not row-stochastic (an all-zero matrix loses the whole mass), and
+  // dividing by it would silently return an all-NaN "distribution".
   double total = 0.0;
   for (double p : pi) total += p;
+  RAC_EXPECT(total > 0.0, "stationary_distribution: zero-mass distribution");
   for (double& p : pi) p /= total;
   return pi;
 }

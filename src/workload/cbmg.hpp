@@ -23,12 +23,32 @@ namespace rac::workload {
 using TransitionMatrix =
     std::array<std::array<double, kNumInteractions>, kNumInteractions>;
 
-/// The mix's CBMG transition matrix.
+/// The mix's CBMG transition matrix. An out-of-enum MixType is a contract
+/// violation (RAC_EXPECT) -- it used to fall back silently to the
+/// shopping matrix, which hid exactly the caller bugs it should surface.
 const TransitionMatrix& cbmg_matrix(MixType mix);
 
 /// Stationary distribution of a row-stochastic matrix (power iteration;
-/// the CBMG chains are irreducible and aperiodic by construction).
+/// the CBMG chains are irreducible and aperiodic by construction). A
+/// matrix whose iterate loses all probability mass (e.g. all-zero rows)
+/// is a contract violation rather than a silent NaN distribution.
 std::array<double, kNumInteractions> stationary_distribution(
     const TransitionMatrix& matrix, int iterations = 200);
+
+/// The distribution session entries are drawn from: the *chain's* actual
+/// stationary distribution, cached per mix.
+///
+/// Design note: the blended transition matrix keeps its stationary
+/// distribution *near* the TPC-W spec frequencies (the rank-one component
+/// sees to that) but not exactly on them, because the structural
+/// affinities redistribute a few percent of the mass along forced edges.
+/// Session entries used to draw from mix_frequencies() directly, which
+/// made a browser's long-run page mix a blend of two slightly different
+/// distributions -- biased toward the spec and away from what the chain
+/// itself visits. Entries now draw from this distribution, so every step
+/// of a CBMG session (entry or navigation) follows one consistent chain;
+/// the residual deviation from the spec frequencies is bounded by the
+/// StationaryDistributionNearSpecFrequencies regression test.
+const std::array<double, kNumInteractions>& entry_distribution(MixType mix);
 
 }  // namespace rac::workload

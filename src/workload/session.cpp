@@ -1,29 +1,53 @@
 #include "workload/session.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/contracts.hpp"
 #include "workload/cbmg.hpp"
 
 namespace rac::workload {
 
-SessionGenerator::SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg)
-    : mix_(mix), rng_(rng), profile_(browser_profile(mix)), use_cbmg_(use_cbmg) {}
+SessionGenerator::SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg,
+                                   double think_scale)
+    : mix_(mix), rng_(rng), profile_(browser_profile(mix)),
+      use_cbmg_(use_cbmg) {
+  RAC_EXPECT(think_scale > 0.0,
+             "SessionGenerator: non-positive think_scale");
+  profile_.think_time_mean_s *= think_scale;
+  profile_.pause_mean_s *= think_scale;
+}
 
 int SessionGenerator::draw_session_length() {
   // Geometric with the profile's mean, at least 1 interaction. A single
   // inversion draw, where trial-by-trial sampling would consume one
   // uniform per interaction of every session the simulation starts.
+  //
+  // Convention audit: Rng::geometric(p) is the *trials* convention --
+  // the number of bernoulli(p) trials up to and including the first
+  // success, support {1, 2, ...}, E[X] = 1/p exactly -- not the
+  // failures-before-success convention (support {0, 1, ...},
+  // E[X] = (1-p)/p). geometric(1.0 / mean) therefore realizes the
+  // profile's mean session length with no off-by-one; the
+  // GeometricMeanIsOneOverP (util) and SessionLengthMatchesProfileMean
+  // (workload) regression tests pin both halves of that claim.
   const double mean = profile_.session_length_mean;
   RAC_EXPECT(mean >= 1.0, "draw_session_length: mean below 1 interaction");
   return rng_.geometric(1.0 / mean);
 }
 
 Interaction SessionGenerator::draw_interaction() {
-  if (!use_cbmg_ || !in_session_) {
-    // Session entry (or independent mode): the steady-state distribution.
+  if (!use_cbmg_) {
+    // Independent mode: every draw follows the spec mix frequencies.
     const auto freq = mix_frequencies(mix_);
     return static_cast<Interaction>(rng_.categorical(freq));
+  }
+  if (!in_session_) {
+    // Session entry: the chain's own stationary distribution, so entries
+    // and in-session navigation follow one consistent chain (see the
+    // design note on entry_distribution in cbmg.hpp).
+    const auto& entry = entry_distribution(mix_);
+    return static_cast<Interaction>(rng_.categorical(entry));
   }
   const auto& row =
       cbmg_matrix(mix_)[static_cast<std::size_t>(last_)];
@@ -56,6 +80,35 @@ BrowserStep SessionGenerator::next() {
   --remaining_in_session_;
   ++steps_;
   return step;
+}
+
+SessionState SessionGenerator::state() const {
+  SessionState s;
+  s.rng = rng_.state();
+  s.remaining_in_session = remaining_in_session_;
+  s.last_interaction = static_cast<int>(last_);
+  s.in_session = in_session_;
+  s.steps = steps_;
+  s.sessions = sessions_;
+  return s;
+}
+
+void SessionGenerator::restore(const SessionState& state) {
+  if (state.remaining_in_session < 0) {
+    throw std::invalid_argument(
+        "SessionGenerator::restore: negative remaining_in_session");
+  }
+  if (state.last_interaction < 0 ||
+      state.last_interaction >= static_cast<int>(kNumInteractions)) {
+    throw std::invalid_argument(
+        "SessionGenerator::restore: interaction outside the enum");
+  }
+  rng_.restore(state.rng);  // validates the word state before we commit
+  remaining_in_session_ = state.remaining_in_session;
+  last_ = static_cast<Interaction>(state.last_interaction);
+  in_session_ = state.in_session;
+  steps_ = state.steps;
+  sessions_ = state.sessions;
 }
 
 }  // namespace rac::workload

@@ -23,17 +23,39 @@ struct BrowserStep {
   bool new_session;
 };
 
+/// Complete serializable state of a SessionGenerator: the RNG stream
+/// position plus the in-session walk position. Restoring it into a
+/// generator constructed with the same (mix, use_cbmg, think_scale)
+/// continues the step stream bit-identically; the dynamic-traffic golden
+/// tests rest on that.
+struct SessionState {
+  util::RngState rng;
+  int remaining_in_session = 0;
+  int last_interaction = 0;
+  bool in_session = false;
+  std::uint64_t steps = 0;
+  std::uint64_t sessions = 0;
+};
+
 /// Stateful per-browser generator; deterministic given its RNG stream.
 ///
 /// Navigation follows the mix's CBMG Markov chain (workload/cbmg.hpp):
-/// each session starts from the mix's steady-state page distribution and
-/// walks the transition matrix, so forced pairs (Search Request -> Search
-/// Results, Buy Request -> Buy Confirm, ...) appear in order. Pass
-/// `use_cbmg = false` for independent draws from the mix frequencies
-/// (useful for isolating navigation effects in experiments).
+/// each session starts from the chain's stationary page distribution
+/// (entry_distribution) and walks the transition matrix, so forced pairs
+/// (Search Request -> Search Results, Buy Request -> Buy Confirm, ...)
+/// appear in order. Pass `use_cbmg = false` for independent draws from
+/// the spec mix frequencies (useful for isolating navigation effects in
+/// experiments).
+///
+/// `think_scale` multiplies the profile's think and pause means (the
+/// dynamic-traffic layer's heavy-tailed think modulation); session length
+/// and the inter-session gap are unaffected. 1.0 reproduces the
+/// unmodulated stream bitwise.
 class SessionGenerator {
  public:
-  SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg = true);
+  /// Throws ContractViolation (RAC_EXPECT) for a non-positive think_scale.
+  SessionGenerator(MixType mix, util::Rng rng, bool use_cbmg = true,
+                   double think_scale = 1.0);
 
   MixType mix() const noexcept { return mix_; }
 
@@ -45,6 +67,12 @@ class SessionGenerator {
 
   /// Number of sessions started so far.
   std::uint64_t sessions_started() const noexcept { return sessions_; }
+
+  /// Snapshot / resume the generator mid-stream (see SessionState).
+  /// restore throws std::invalid_argument for negative counters or an
+  /// out-of-enum interaction; the RNG state is validated by Rng::restore.
+  SessionState state() const;
+  void restore(const SessionState& state);
 
  private:
   MixType mix_;

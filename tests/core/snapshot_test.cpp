@@ -209,6 +209,33 @@ TEST(CheckpointIo, RoundTripPreservesOpaqueStateBytes) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointIo, TrafficCursorRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/rac_checkpoint_tc.rac";
+  RunCheckpoint original;
+  original.completed_iterations = 9;
+  original.traffic_interval = 42;  // v2: mid-day traffic-model cursor
+  original.agent_state = "state";
+  write_checkpoint_file(path, original);
+  const RunCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.traffic_interval, 42u);
+  EXPECT_EQ(loaded.completed_iterations, 9u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIo, V1FileLoadsWithZeroTrafficCursor) {
+  // A pre-traffic checkpoint (v1, no "traffic" line) must keep loading;
+  // the cursor defaults to 0 -- exactly what a run without a traffic
+  // model had.
+  const std::string path = ::testing::TempDir() + "/rac_checkpoint_v1.rac";
+  util::atomic_write_file(
+      path, "rac-checkpoint v1\ncompleted 7\nagent_state 6\nopaque\nend\n");
+  const RunCheckpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.completed_iterations, 7u);
+  EXPECT_EQ(loaded.traffic_interval, 0u);
+  EXPECT_EQ(loaded.agent_state, "opaque");
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointIo, MissingFileThrowsIosFailure) {
   EXPECT_THROW(load_checkpoint_file("/nonexistent/dir/cp.rac"),
                std::ios_base::failure);

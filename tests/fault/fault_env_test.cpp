@@ -307,9 +307,15 @@ TEST(FaultyEnv, SurgeMeasuresUnderTheSurgeContextThenRestores) {
   ASSERT_EQ(fake->measured_contexts.size(), 1u);
   EXPECT_EQ(fake->measured_contexts[0], surge_ctx);
   EXPECT_EQ(env.context(), scheduled);  // restored afterwards
-  ASSERT_EQ(fake->context_sets.size(), 2u);
-  EXPECT_EQ(fake->context_sets[0], surge_ctx);
-  EXPECT_EQ(fake->context_sets[1], scheduled);
+  // The surge rides on measure_under: the level flip brackets the call and
+  // the default measure_under swaps the mix in and back out around the
+  // measurement itself.
+  const env::SystemContext level_flipped{scheduled.mix, surge_ctx.level};
+  ASSERT_EQ(fake->context_sets.size(), 4u);
+  EXPECT_EQ(fake->context_sets[0], level_flipped);
+  EXPECT_EQ(fake->context_sets[1], surge_ctx);
+  EXPECT_EQ(fake->context_sets[2], level_flipped);
+  EXPECT_EQ(fake->context_sets[3], scheduled);
   // The surge distorts the truth (Level-3 shift), not the reporting path.
   EXPECT_GT(reported.response_ms, 10000.0);
   EXPECT_DOUBLE_EQ(reported.response_ms, env.true_history()[0].response_ms);

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -27,6 +29,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/dynamic.hpp"
 
 namespace rac::fleet {
 namespace {
@@ -171,6 +174,102 @@ TEST(Fleet, CheckpointRestoreStitchesBitIdentically) {
   EXPECT_EQ(checkpoint_bytes(resumed), checkpoint_bytes(reference));
 
   std::remove(path.c_str());
+}
+
+// Dynamic traffic (workload/dynamic.hpp): phase-staggered diurnal days so
+// tenants disagree about where in the day they are.
+std::shared_ptr<const workload::TrafficModel> tenant_traffic(int i) {
+  auto model = std::make_shared<workload::TrafficModel>();
+  model->add_diurnal({16.0, 0.3, static_cast<double>(i % 4)})
+      .add_think_noise({static_cast<std::uint64_t>(100 + i), 0.2});
+  return model;
+}
+
+std::vector<TenantSpec> make_traffic_specs(int tenants) {
+  std::vector<TenantSpec> specs = make_specs(tenants);
+  for (int i = 0; i < tenants; ++i) {
+    if (i % 3 != 2) {  // leave some tenants on static traffic
+      specs[static_cast<std::size_t>(i)].traffic = tenant_traffic(i);
+    }
+  }
+  return specs;
+}
+
+TEST(Fleet, TrafficTenantsCheckpointRestoreStitchesBitIdentically) {
+  obs::Registry registry;
+  const std::string path =
+      ::testing::TempDir() + "/rac_fleet_traffic_checkpoint.rac";
+
+  util::ThreadPool reference_pool(4);
+  obs::DigestTraceSink reference_first, reference_second;
+  FleetManager reference(
+      make_traffic_specs(16),
+      make_options(&reference_pool, &reference_first, &registry),
+      shared_library());
+  reference.run(8);
+  reference.set_sink(&reference_second);
+  reference.run(8);
+
+  // Serial first half, checkpointed mid-day, restored into a fresh
+  // 4-thread fleet: the traffic cursors must stitch like the noise Rngs.
+  util::ThreadPool live_pool(1);
+  obs::DigestTraceSink live_first;
+  FleetManager live(make_traffic_specs(16),
+                    make_options(&live_pool, &live_first, &registry),
+                    shared_library());
+  live.run(8);
+  save_fleet_checkpoint_file(path, live);
+
+  util::ThreadPool resumed_pool(4);
+  obs::DigestTraceSink resumed_second;
+  FleetManager resumed(make_traffic_specs(16),
+                       make_options(&resumed_pool, &resumed_second, &registry),
+                       shared_library());
+  restore_fleet_checkpoint_file(path, resumed);
+  EXPECT_EQ(resumed.completed(), 8);
+  resumed.run(8);
+
+  EXPECT_EQ(live_first.digest(), reference_first.digest());
+  EXPECT_EQ(resumed_second.digest(), reference_second.digest());
+  EXPECT_EQ(checkpoint_bytes(resumed), checkpoint_bytes(reference));
+
+  // The file visibly carries mid-day cursors (v2 "traffic" lines).
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_NE(bytes.find("\ntraffic 8\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Fleet, V1CheckpointLoadsWithZeroTrafficCursors) {
+  // Forward compatibility with pre-traffic fleets: strip the v2 "traffic"
+  // lines and relabel the header -- the result is a faithful v1 file,
+  // which must restore with every cursor at 0. Re-saving it then yields
+  // the original v2 bytes, because a traffic-less fleet's cursors are 0.
+  obs::Registry registry;
+  util::ThreadPool pool(1);
+  FleetManager fleet(make_specs(8), make_options(&pool, nullptr, &registry),
+                     shared_library());
+  fleet.run(5);
+  const std::string v2 = checkpoint_bytes(fleet);
+
+  std::string v1;
+  std::istringstream lines(v2);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("traffic ", 0) == 0) continue;
+    if (line == "rac-fleet-checkpoint v2") line = "rac-fleet-checkpoint v1";
+    v1 += line;
+    v1 += '\n';
+  }
+  ASSERT_NE(v1, v2);
+
+  FleetManager restored(make_specs(8), make_options(&pool, nullptr, &registry),
+                        shared_library());
+  std::istringstream is(v1);
+  restored.restore_checkpoint(is);
+  EXPECT_EQ(restored.completed(), 5);
+  EXPECT_EQ(checkpoint_bytes(restored), v2);
 }
 
 TEST(Fleet, RestoreRejectsMismatchedFleets) {

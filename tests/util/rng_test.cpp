@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <set>
@@ -156,6 +157,34 @@ TEST(RngState, RejectsAllZeroWords) {
   Rng rng(1);
   RngState dead;  // words all zero: the one state xoshiro cannot leave
   EXPECT_THROW(rng.restore(dead), std::invalid_argument);
+}
+
+TEST(Rng, GeometricMeanIsOneOverP) {
+  // Convention audit (the session-length off-by-one question): geometric(p)
+  // counts bernoulli(p) trials up to AND INCLUDING the first success, so
+  // the support starts at 1 and E[X] = 1/p exactly -- not the
+  // failures-before-success convention whose mean is (1-p)/p.
+  // SessionGenerator::draw_session_length therefore passes p = 1/mean
+  // with no +1/-1 correction.
+  Rng rng(77);
+  for (const double p : {0.5, 0.2, 0.05}) {
+    const int n = 200000;
+    long long total = 0;
+    int min_seen = 1 << 30;
+    for (int i = 0; i < n; ++i) {
+      const int draw = rng.geometric(p);
+      total += draw;
+      min_seen = std::min(min_seen, draw);
+    }
+    const double mean = static_cast<double>(total) / n;
+    EXPECT_NEAR(mean, 1.0 / p, (1.0 / p) * 0.03) << "p = " << p;
+    EXPECT_GE(min_seen, 1) << "p = " << p;
+  }
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsAlwaysOne) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 1);
 }
 
 TEST(SplitMix, KnownFirstOutputChangesState) {

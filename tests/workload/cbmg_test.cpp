@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "util/contracts.hpp"
 #include "workload/session.hpp"
 
 namespace rac::workload {
@@ -90,6 +93,57 @@ TEST(Cbmg, GeneratorFollowsForcedPairs) {
   ASSERT_GT(buy_requests, 100);
   // Far more often than the ~10% base frequency of Buy Confirm.
   EXPECT_GT(static_cast<double>(followed_by_confirm) / buy_requests, 0.20);
+}
+
+TEST(Cbmg, OutOfEnumMixIsAContractViolation) {
+  // The old code silently fell back to the shopping matrix; out-of-enum
+  // input is corrupt data and must trip the contract instead.
+  const auto bad = static_cast<MixType>(99);
+  EXPECT_THROW(cbmg_matrix(bad), util::ContractViolation);
+  EXPECT_THROW(entry_distribution(bad), util::ContractViolation);
+}
+
+TEST(Cbmg, ZeroMassDistributionIsAContractViolation) {
+  TransitionMatrix zero{};  // all-zero rows: stationary mass would be 0/0
+  EXPECT_THROW(stationary_distribution(zero), util::ContractViolation);
+}
+
+TEST(Cbmg, EntryDistributionMatchesTheStationaryDistribution) {
+  for (const MixType mix : kAllMixes) {
+    const auto& entry = entry_distribution(mix);
+    const auto pi = stationary_distribution(cbmg_matrix(mix));
+    double total = 0.0;
+    for (std::size_t i = 0; i < kNumInteractions; ++i) {
+      EXPECT_DOUBLE_EQ(entry[i], pi[i])
+          << mix_name(mix) << " "
+          << interaction_name(static_cast<Interaction>(i));
+      total += entry[i];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Cbmg, SessionEntriesFollowTheEntryDistribution) {
+  // Satellite fix: session entries used to draw from the spec frequencies
+  // while navigation followed the CBMG chain -- two inconsistent
+  // distributions. Entries now draw from the chain's stationary
+  // distribution; the long-run entry histogram must match it.
+  SessionGenerator gen(MixType::kShopping, util::Rng(8));
+  std::array<int, kNumInteractions> entries{};
+  int sessions = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const auto step = gen.next();
+    if (step.new_session) {
+      ++entries[static_cast<std::size_t>(step.interaction)];
+      ++sessions;
+    }
+  }
+  ASSERT_GT(sessions, 5000);
+  const auto pi = stationary_distribution(cbmg_matrix(MixType::kShopping));
+  for (std::size_t i = 0; i < kNumInteractions; ++i) {
+    EXPECT_NEAR(entries[i] / static_cast<double>(sessions), pi[i], 0.02)
+        << interaction_name(static_cast<Interaction>(i));
+  }
 }
 
 TEST(Cbmg, IndependentModeIgnoresHistory) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace rac::workload {
 namespace {
@@ -76,6 +79,52 @@ TEST(SessionGenerator, CountsSteps) {
   SessionGenerator gen(MixType::kOrdering, util::Rng(5));
   for (int i = 0; i < 10; ++i) gen.next();
   EXPECT_EQ(gen.steps_generated(), 10u);
+}
+
+TEST(SessionGenerator, UnitThinkScaleReproducesTheUnscaledStreamBitwise) {
+  SessionGenerator plain(MixType::kShopping, util::Rng(21));
+  SessionGenerator scaled(MixType::kShopping, util::Rng(21), true, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = plain.next();
+    const auto b = scaled.next();
+    EXPECT_EQ(a.interaction, b.interaction);
+    EXPECT_DOUBLE_EQ(a.think_time_s, b.think_time_s);
+    EXPECT_EQ(a.new_session, b.new_session);
+  }
+}
+
+TEST(SessionGenerator, ThinkScaleStretchesInSessionThinkTimes) {
+  SessionGenerator gen(MixType::kShopping, util::Rng(22), true, 3.0);
+  double total = 0.0;
+  int count = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto step = gen.next();
+    if (!step.new_session) {
+      total += step.think_time_s;
+      ++count;
+    }
+  }
+  const auto profile = browser_profile(MixType::kShopping);
+  const double expected =
+      3.0 * profile.think_time_mean_s +
+      profile.pause_prob * 3.0 * profile.pause_mean_s;
+  EXPECT_NEAR(total / count, expected, expected * 0.05);
+}
+
+TEST(SessionGenerator, RejectsNonPositiveThinkScale) {
+  EXPECT_THROW(SessionGenerator(MixType::kShopping, util::Rng(1), true, 0.0),
+               util::ContractViolation);
+}
+
+TEST(SessionGenerator, RestoreRejectsCorruptState) {
+  SessionGenerator gen(MixType::kShopping, util::Rng(23));
+  for (int i = 0; i < 10; ++i) gen.next();
+  SessionState bad = gen.state();
+  bad.remaining_in_session = -1;
+  EXPECT_THROW(gen.restore(bad), std::invalid_argument);
+  bad = gen.state();
+  bad.last_interaction = 999;
+  EXPECT_THROW(gen.restore(bad), std::invalid_argument);
 }
 
 TEST(SessionGenerator, FirstArrivalStaggeredWithinThinkTime) {
